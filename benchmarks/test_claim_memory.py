@@ -1,0 +1,43 @@
+"""CLAIM-MEM: per-process clock storage.
+
+Paper Section 6: "all communicating processes in our system, except the
+notifier, need to maintain a single vector of 2 elements only, rather
+than having to maintain three full vectors of N elements by every
+process as in early compressing techniques [9, 13]."
+
+Regenerates the comparison table and verifies it against *live* editor
+instances (the numbers come from the running objects, not the formula).
+"""
+
+from conftest import emit
+
+from repro.clocks.sk import SKProcess
+from repro.editor.star import StarSession
+from repro.metrics.accounting import memory_comparison
+
+SWEEP_N = [2, 4, 8, 16, 64, 256, 1024]
+
+
+def test_memory_table(benchmark):
+    rows = benchmark(memory_comparison, SWEEP_N)
+    header = "     N | full VC ints | SK ints  | CVC client  | CVC notifier"
+    emit(
+        "CLAIM-MEM: resident clock-state integers per process",
+        "\n".join([header] + [r.as_row() for r in rows]),
+    )
+    for row in rows:
+        assert row.compressed_client == 2
+        assert row.sk_per_process == 3 * row.n
+        assert row.compressed_notifier == row.n
+
+
+def test_live_objects_match_table(benchmark):
+    def build():
+        session = StarSession(16)
+        sk = SKProcess(0, 16)
+        return session, sk
+
+    session, sk = benchmark(build)
+    assert all(c.clock_storage_ints() == 2 for c in session.clients)
+    assert session.notifier.clock_storage_ints() == 16
+    assert sk.storage_ints() == 48

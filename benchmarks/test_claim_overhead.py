@@ -1,0 +1,65 @@
+"""CLAIM-OVH: timestamp overhead -- "two integers, rather than being
+linear in N as in early compressing techniques" (paper Section 6).
+
+Sweeps the system size N and reports per-message timestamp bytes for
+full vector clocks, Singhal-Kshemkalyani differential compression (the
+paper's reference [13], measured by replaying real traffic through real
+SK processes, under both high interaction locality -- SK's best case --
+and uniform interaction), scalar Lamport clocks (cannot detect
+concurrency; shown as the floor), and the paper's compressed scheme.
+
+Shape assertions: CVC is flat at 8 bytes for every N; full vectors grow
+linearly; SK lies between Lamport and the full vector and degrades as
+locality drops; CVC beats full vectors from N = 3 and SK-uniform from
+small N onward.
+"""
+
+from conftest import emit
+
+from repro.metrics.accounting import (
+    compressed_timestamp_bytes,
+    full_vector_timestamp_bytes,
+    overhead_sweep,
+    sk_expected_timestamp_bytes,
+)
+
+SWEEP_N = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def test_overhead_table(benchmark):
+    rows = benchmark(overhead_sweep, SWEEP_N, 0, 400)
+
+    header = (
+        "     N |  full VC B | lamport |  SK local  |  SK uniform | compressed"
+    )
+    emit(
+        "CLAIM-OVH: per-message timestamp bytes vs system size",
+        "\n".join([header] + [r.as_row() for r in rows]),
+    )
+
+    for row in rows:
+        # the paper's headline: constant two integers
+        assert row.compressed == 8
+        assert row.full_vector == 4 * row.n
+        # SK sits between the scalar floor and (roughly) the full vector
+        assert row.sk_local >= 8  # at least one (index, value) pair
+        assert row.sk_uniform <= 2 * row.full_vector
+        # locality is what SK exploits
+        if row.n >= 8:
+            assert row.sk_local < row.sk_uniform
+    # crossover claims
+    assert all(row.compressed < row.full_vector for row in rows if row.n >= 3)
+    big = [row for row in rows if row.n >= 32]
+    assert all(row.compressed < row.sk_uniform for row in big)
+    # full VC at N=1024 is 512x the compressed size
+    assert rows[-1].full_vector / rows[-1].compressed == 512
+
+
+def test_sk_measurement_cost(benchmark):
+    """Benchmark the SK replay measurement itself at a realistic size."""
+    mean = benchmark(sk_expected_timestamp_bytes, 64, 0.5, 0, 500)
+    assert 0 < mean <= 2 * full_vector_timestamp_bytes(64)
+
+
+def test_compressed_constant_lookup(benchmark):
+    assert benchmark(compressed_timestamp_bytes) == 8

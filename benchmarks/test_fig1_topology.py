@@ -1,0 +1,51 @@
+"""FIG1: the star-like topology of Web-based REDUCE (paper Fig. 1).
+
+Regenerates the figure as ASCII art and benchmarks star wiring against
+mesh wiring, quantifying the structural point of Section 2.1: a star
+over N clients needs 2N unidirectional channels while a mesh needs
+N(N-1) -- the notifier maps N-way communication onto 2-way.
+"""
+
+from conftest import emit
+
+from repro.net.process import SimProcess
+from repro.net.simulator import Simulator
+from repro.net.topology import MeshTopology, StarTopology
+from repro.viz.spacetime import render_star_topology
+
+
+class _Sink(SimProcess):
+    def on_message(self, envelope):
+        pass
+
+
+def build_star(n_clients: int) -> StarTopology:
+    sim = Simulator()
+    procs = [_Sink(sim, i) for i in range(n_clients + 1)]
+    return StarTopology(sim, procs)
+
+
+def build_mesh(n_sites: int) -> MeshTopology:
+    sim = Simulator()
+    procs = [_Sink(sim, i) for i in range(n_sites)]
+    return MeshTopology(sim, procs)
+
+
+def test_fig1_star_wiring(benchmark):
+    topo = benchmark(build_star, 32)
+    assert topo.edge_count() == 2 * 32
+
+    rows = ["clients |  star channels | mesh channels"]
+    for n in (2, 4, 8, 16, 32, 64):
+        star = build_star(n).edge_count()
+        mesh = build_mesh(n + 1).edge_count()
+        assert star == 2 * n
+        assert mesh == (n + 1) * n
+        rows.append(f"{n:>7} | {star:>14} | {mesh:>13}")
+    emit("FIG1: star vs mesh channel count", "\n".join(rows))
+    emit("FIG1: topology rendering (N=4)", render_star_topology(4))
+
+
+def test_fig1_mesh_wiring_baseline(benchmark):
+    topo = benchmark(build_mesh, 33)
+    assert topo.edge_count() == 33 * 32

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The paper's Section 6 generalisation: CVC beyond text editing.
+
+"The basic ideas and techniques in this scheme are potentially
+applicable to other distributed systems which support concurrent updates
+on replicated data objects, such as replicated database systems,
+replicated file systems, etc."
+
+Three mini-applications run the *identical* compressed-vector-clock
+machinery over different replicated data types:
+
+* a shared counter (concurrent increments commute);
+* a replicated database table (ordered list of rows, concurrent
+  inserts/deletes transformed);
+* a configuration register (last-writer-wins conflict policy).
+
+Run:  python examples/replicated_datatypes.py
+"""
+
+from repro.editor.star import StarSession
+from repro.ot.types import CounterOp, ListOp, RegisterOp
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+
+
+def shared_counter() -> None:
+    banner("shared counter: three sites increment concurrently")
+    session = StarSession(3, ot_type_name="counter", verify_with_oracle=True)
+    session.generate_at(1, CounterOp(+5), at=1.0)
+    session.generate_at(2, CounterOp(-2), at=1.0)
+    session.generate_at(3, CounterOp(+10), at=1.0)
+    session.run()
+    assert session.converged()
+    print(f"  deltas: +5, -2, +10 (all concurrent)")
+    print(f"  every replica reads: {session.notifier.document}")
+    stats = session.wire_stats()
+    print(f"  timestamp bytes/message: {stats.timestamp_bytes // stats.messages}")
+
+
+def replicated_table() -> None:
+    banner("replicated table: concurrent row inserts and deletes")
+    session = StarSession(3, ot_type_name="list", verify_with_oracle=True)
+    session.generate_at(1, ListOp("ins", 0, {"user": "ada", "score": 10}), at=1.0)
+    session.generate_at(2, ListOp("ins", 0, {"user": "bob", "score": 7}), at=1.0)
+    session.generate_at(3, ListOp("ins", 0, {"user": "cyd", "score": 9}), at=1.0)
+    session.run()
+    # everyone now sees three rows; two sites mutate concurrently
+    session.generate_at(1, ListOp("del", 1), at=10.0)
+    session.generate_at(2, ListOp("ins", 3, {"user": "dee", "score": 4}), at=10.0)
+    session.run()
+    assert session.converged()
+    print("  rows at every replica:")
+    for row in session.notifier.document:
+        print(f"    {row}")
+    assert len(session.notifier.document) == 3
+
+
+def config_register() -> None:
+    banner("configuration register: last-writer-wins conflicts")
+    session = StarSession(2, ot_type_name="lww-register", verify_with_oracle=True)
+    session.generate_at(1, RegisterOp("replicas=3"), at=1.0)
+    session.generate_at(2, RegisterOp("replicas=5"), at=1.0)  # concurrent write
+    session.run()
+    assert session.converged()
+    print(f"  concurrent writes 'replicas=3' vs 'replicas=5'")
+    print(f"  deterministic winner at every replica: {session.notifier.document!r}")
+    session.generate_at(2, RegisterOp("replicas=7"), at=10.0)
+    session.run()
+    assert session.converged()
+    print(f"  later write wins: {session.notifier.document!r}")
+
+
+def main() -> None:
+    shared_counter()
+    replicated_table()
+    config_register()
+    print()
+    print("same notifier, same 2-integer timestamps, same formulas (5)/(7) --")
+    print("only the transformation function changed per data type.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Collaborative rich-text editing with undo.
+
+Two authors style and edit the same sentence concurrently; the session
+runs on the identical compressed-vector-clock machinery as plain text --
+only the transformation function changed.  Demonstrates:
+
+* concurrent formatting of overlapping spans (attribute union);
+* conflicting formatting (one bolds, one un-bolds: site priority wins
+  deterministically at every replica);
+* text edits racing formatting;
+* undo of the most recent local edit, propagated as an ordinary
+  operation.
+
+Run:  python examples/rich_formatting.py
+"""
+
+from repro.editor.star import StarSession
+from repro.ot.rich import RichOperation, attrs_at, plain, to_string
+
+
+def render(doc) -> str:
+    """Markdown-ish rendering: *italic*, **bold**."""
+    out = []
+    for ch, attrs in doc:
+        piece = ch
+        if "italic" in attrs:
+            piece = f"*{piece}*"
+        if "bold" in attrs:
+            piece = f"**{piece}**"
+        out.append(piece)
+    return "".join(out)
+
+
+def fmt(doc_len, start, count, add=(), remove=()):
+    op = RichOperation().retain(start)
+    op.retain(count, add=add, remove=remove)
+    return op.retain(doc_len - start - count)
+
+
+def main() -> None:
+    text = "vector clocks"
+    session = StarSession(
+        2,
+        ot_type_name="rich-text",
+        initial_state=plain(text),
+        verify_with_oracle=True,
+    )
+    print(f"initial: {text!r}\n")
+
+    # concurrent formatting: author 1 bolds "vector", author 2
+    # italicises "tor clocks" -- overlapping on "tor"
+    session.generate_at(1, fmt(13, 0, 6, add=("bold",)), at=1.0)
+    session.generate_at(2, fmt(13, 3, 10, add=("italic",)), at=1.0)
+    session.run()
+    assert session.converged()
+    doc = session.notifier.document
+    print("after concurrent bold/italic:")
+    print(" ", render(doc))
+    assert attrs_at(doc, 4) == frozenset({"bold", "italic"})
+
+    # conflicting formatting: author 1 un-bolds the word author 2 re-bolds
+    n = len(doc)
+    session.generate_at(1, fmt(n, 0, 6, remove=("bold",)), at=10.0)
+    session.generate_at(2, fmt(n, 0, 6, add=("bold",)), at=10.0)
+    session.run()
+    assert session.converged()
+    doc = session.notifier.document
+    print("\nafter conflicting un-bold vs re-bold (site 1 priority):")
+    print(" ", render(doc))
+    assert attrs_at(doc, 0) == frozenset()  # site 1's removal won
+
+    # a text edit racing a format
+    ins = RichOperation().retain(6).insert(" logical")
+    ins.retain(len(doc) - 6)
+    session.generate_at(1, ins, at=20.0)
+    session.generate_at(2, fmt(len(doc), 7, 6, add=("bold",)), at=20.0)
+    session.run()
+    assert session.converged()
+    doc = session.notifier.document
+    print("\nafter insert racing a format:")
+    print(" ", render(doc))
+    assert to_string(doc) == "vector logical clocks"
+
+    # author 1 types a stray word and immediately undoes it, while
+    # author 2 concurrently bolds the tail -- the undo is an ordinary
+    # operation and transforms like any other
+    def typo_and_undo():
+        client = session.client(1)
+        stray = RichOperation().retain(6).insert(" oops")
+        stray.retain(len(client.document) - 6)
+        client.generate(stray)
+        client.undo_last()
+
+    session.sim.schedule(30.0, typo_and_undo)
+    session.generate_at(
+        2, fmt(len(doc), len(doc) - 6, 6, add=("bold",)), at=30.0
+    )
+    session.run()
+    assert session.converged()
+    doc = session.notifier.document
+    print("\nafter author 1's typo + undo racing author 2's bold:")
+    print(" ", render(doc))
+    assert to_string(doc) == "vector logical clocks"
+
+    stats = session.wire_stats()
+    print(
+        f"\n{stats.messages} messages, "
+        f"{stats.timestamp_bytes // stats.messages} timestamp bytes each -- "
+        "same constant-2 scheme, richer data type"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this environment lacks the `wheel` package, so editable
+installs must use the setup.py code path (`pip install -e . --no-use-pep517`
+or `python setup.py develop`). All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

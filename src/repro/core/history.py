@@ -1,0 +1,93 @@
+"""The History Buffer (HB) of executed, timestamped operations.
+
+Every site maintains an HB of operations in execution order (paper
+Section 2.3).  Entries record:
+
+* the executed operation, in the form it was executed in **and kept
+  up to date**: when a later remote operation is symmetrically
+  transformed against a concurrent entry, the entry's operation is
+  replaced by its inclusion-transformed successor, so the buffer always
+  reflects the current document context (the treatment Sun et al. 1998
+  give the GOTO history);
+* the timestamp assigned at buffering time (compressed at clients, full
+  ``SV_0`` snapshot at the notifier) -- **never** rewritten, because the
+  concurrency formulas are defined over the original counts;
+* provenance: originating site and :class:`~repro.core.timestamp.OriginKind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Union
+
+from repro.core.timestamp import CompressedTimestamp, FullTimestamp, OriginKind
+
+Timestamp = Union[CompressedTimestamp, FullTimestamp]
+
+
+@dataclass
+class HistoryEntry:
+    """One executed operation in a history buffer."""
+
+    op: Any  # current (possibly re-transformed) form of the operation
+    timestamp: Timestamp
+    origin_site: int  # site the operation was originally generated at
+    origin_kind: OriginKind
+    op_id: Any = None  # stable identity of the operation as buffered
+    executed_at: float = 0.0  # virtual time of execution (for diagnostics)
+    # Notifier entries: the identity of the *original* client operation
+    # the buffered (transformed) operation derives from.  Formula (6)/(7)
+    # is framed over "operations originally generated at sites x and y",
+    # so the ground-truth oracle compares original identities.
+    source_op_id: Any = None
+    # Local entries whose OT type supports inversion: the inverse of the
+    # operation relative to its generation pre-state, used by undo while
+    # the entry is still the site's most recent execution.
+    inverse: Any = None
+
+    def __repr__(self) -> str:
+        return f"HB({self.op_id or self.op!r} @ {self.timestamp!r} from s{self.origin_site})"
+
+
+@dataclass
+class HistoryBuffer:
+    """An append-only buffer of :class:`HistoryEntry` in execution order."""
+
+    entries: list[HistoryEntry] = field(default_factory=list)
+
+    def append(self, entry: HistoryEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[HistoryEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> HistoryEntry:
+        return self.entries[index]
+
+    def concurrent_entries(
+        self, is_concurrent: Callable[[HistoryEntry], bool]
+    ) -> list[HistoryEntry]:
+        """Entries satisfying the supplied concurrency predicate, in order."""
+        return [entry for entry in self.entries if is_concurrent(entry)]
+
+    def op_ids(self) -> list[Any]:
+        """Operation identities in execution order (for Fig. 3 assertions)."""
+        return [entry.op_id for entry in self.entries]
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def garbage_collect(self, keep_if: Callable[[HistoryEntry], bool]) -> int:
+        """Drop entries failing ``keep_if``; returns the number removed.
+
+        The paper keeps HBs unbounded; real deployments prune entries no
+        longer concurrent with anything in flight.  The star editor uses
+        this with an acknowledgement horizon (see
+        ``StarClient.collect_garbage``).
+        """
+        before = len(self.entries)
+        self.entries = [entry for entry in self.entries if keep_if(entry)]
+        return before - len(self.entries)

@@ -1,0 +1,180 @@
+"""Session recording and deterministic replay.
+
+Records every *original* operation of a star session -- generating site,
+virtual generation time, operation content -- as JSON lines, and replays
+a recording into a fresh session.  Two production uses:
+
+* **reproducibility** -- a session trace is a complete, portable
+  artefact (the examples and bug reports can ship one);
+* **audit / recovery** -- replaying the trace through the same
+  deterministic simulator reproduces the exact final document and every
+  timestamp, which the tests assert.
+
+Only positional text operations are serialised (the paper's op model);
+the codec in :mod:`repro.net.codec` handles the wire format, this module
+handles the at-rest format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, TextIO
+
+from repro.editor.star import StarSession
+from repro.ot.operations import Delete, Identity, Insert, Operation, OperationGroup
+
+
+class RecordingError(ValueError):
+    """Raised on malformed trace data."""
+
+
+def op_to_json(op: Operation) -> dict[str, Any]:
+    """Serialise a positional operation to a JSON-compatible dict."""
+    if isinstance(op, Insert):
+        return {"type": "insert", "pos": op.pos, "text": op.text}
+    if isinstance(op, Delete):
+        return {"type": "delete", "pos": op.pos, "count": op.count}
+    if isinstance(op, Identity):
+        return {"type": "identity"}
+    if isinstance(op, OperationGroup):
+        return {"type": "group", "members": [op_to_json(m) for m in op.members]}
+    raise RecordingError(f"cannot serialise operation type {type(op).__name__}")
+
+
+def op_from_json(data: dict[str, Any]) -> Operation:
+    """Deserialise an operation produced by :func:`op_to_json`."""
+    kind = data.get("type")
+    if kind == "insert":
+        return Insert(data["text"], data["pos"])
+    if kind == "delete":
+        return Delete(data["count"], data["pos"])
+    if kind == "identity":
+        return Identity()
+    if kind == "group":
+        return OperationGroup(tuple(op_from_json(m) for m in data["members"]))
+    raise RecordingError(f"unknown operation type {kind!r}")
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded original operation."""
+
+    site: int
+    time: float
+    op_id: str
+    op: Operation
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "site": self.site,
+                "time": self.time,
+                "op_id": self.op_id,
+                "op": op_to_json(self.op),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RecordingError(f"malformed trace line: {exc}") from exc
+        for key in ("site", "time", "op_id", "op"):
+            if key not in data:
+                raise RecordingError(f"trace line missing {key!r}: {line!r}")
+        return cls(
+            site=int(data["site"]),
+            time=float(data["time"]),
+            op_id=str(data["op_id"]),
+            op=op_from_json(data["op"]),
+        )
+
+
+@dataclass
+class SessionRecorder:
+    """Collects the original operations of a running session.
+
+    Attach before driving the session::
+
+        recorder = SessionRecorder.attach(session)
+        ... drive and run ...
+        recorder.dump(open("trace.jsonl", "w"))
+    """
+
+    header: dict[str, Any]
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    @classmethod
+    def attach(cls, session: StarSession, initial_state: Any = None) -> "SessionRecorder":
+        recorder = cls(
+            header={
+                "format": "repro-trace-v1",
+                "n_sites": len(session.clients),
+                "initial_state": initial_state
+                if initial_state is not None
+                else session.notifier.document,
+            }
+        )
+        for client in session.clients:
+            original_generate = client.generate
+
+            def recording_generate(
+                op, op_id=None, _orig=original_generate, _client=client
+            ):
+                assigned = _orig(op, op_id)
+                recorder.entries.append(
+                    TraceEntry(
+                        site=_client.pid,
+                        time=_client.sim.now,
+                        op_id=assigned,
+                        op=op,
+                    )
+                )
+                return assigned
+
+            client.generate = recording_generate  # type: ignore[method-assign]
+        return recorder
+
+    def dump(self, fh: TextIO) -> int:
+        """Write header + one JSON line per operation; returns line count."""
+        fh.write(json.dumps(self.header, sort_keys=True) + "\n")
+        for entry in sorted(self.entries, key=lambda e: (e.time, e.site)):
+            fh.write(entry.to_json() + "\n")
+        return 1 + len(self.entries)
+
+
+def load_trace(fh: TextIO) -> tuple[dict[str, Any], list[TraceEntry]]:
+    """Read a trace; returns (header, entries)."""
+    lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise RecordingError("empty trace")
+    header = json.loads(lines[0])
+    if header.get("format") != "repro-trace-v1":
+        raise RecordingError(f"unknown trace format {header.get('format')!r}")
+    return header, [TraceEntry.from_json(line) for line in lines[1:]]
+
+
+def replay(
+    header: dict[str, Any],
+    entries: list[TraceEntry],
+    latency_factory: Callable | None = None,
+    **session_kwargs: Any,
+) -> StarSession:
+    """Rebuild and run a session from a trace.
+
+    With the same latency model the replay is bit-for-bit identical to
+    the original run (same timestamps, same broadcasts, same document).
+    """
+    session = StarSession(
+        header["n_sites"],
+        initial_state=header["initial_state"],
+        latency_factory=latency_factory,
+        **session_kwargs,
+    )
+    for entry in entries:
+        session.generate_at(entry.site, entry.op, entry.time, op_id=entry.op_id)
+    session.run()
+    return session

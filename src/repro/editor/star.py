@@ -1,0 +1,669 @@
+"""The star-topology group editor (Web-based REDUCE, paper Sections 2-4).
+
+Roles
+-----
+* :class:`StarClient` -- a collaborating site ``i in 1..N``.  Executes
+  local operations immediately (high responsiveness), timestamps them
+  with its 2-element state vector ``SV_i`` and sends them to the
+  notifier.  Incoming notifier operations are checked for concurrency
+  against the history buffer with formula (5), transformed against the
+  concurrent (i.e. not-yet-acknowledged local) operations, and executed.
+* :class:`StarNotifier` -- site 0.  Maintains the full ``SV_0``; on
+  receiving an operation from site ``x`` it determines the concurrent
+  history entries with formula (7), transforms the operation against
+  them, executes it, and broadcasts the *transformed* form to every
+  other site with a per-destination compressed timestamp (formulas
+  1-2).  This redefinition is what collapses the causality relation to
+  two dimensions.
+* :class:`StarSession` -- wires clients and notifier over
+  :class:`repro.net.topology.StarTopology` and exposes experiment
+  helpers (run, convergence check, wire statistics, event log).
+
+Transformation discipline
+-------------------------
+The paper defers the transformation path to its references [14, 15]; we
+use the standard symmetric treatment for star topologies: when an
+incoming operation is transformed against a concurrent history
+operation, the history operation is simultaneously inclusion-transformed
+against the incoming one, so the buffer always reflects the current
+document context.  Insert-position ties are broken by originating site
+identifier (lower site wins), evaluated identically at both ends, which
+makes the outcome site-independent -- the convergence property the
+property-based tests exercise.
+
+Ground truth
+------------
+Every generation/execution is recorded in a shared
+:class:`repro.clocks.events.EventLog`.  With ``verify_with_oracle=True``
+each compressed-timestamp concurrency verdict is asserted against full
+vector clocks (paper formula 3) at check time; the integration tests run
+entire random sessions this way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.clocks.events import EventLog
+from repro.clocks.vector import concurrent as vc_concurrent
+from repro.core.concurrency import client_concurrent, notifier_concurrent
+from repro.core.history import HistoryBuffer, HistoryEntry
+from repro.core.state_vector import ClientStateVector, NotifierStateVector
+from repro.core.timestamp import CompressedTimestamp, OriginKind
+from repro.net.channel import LatencyModel
+from repro.net.process import SimProcess
+from repro.net.simulator import Simulator
+from repro.net.topology import StarTopology
+from repro.net.transport import Envelope
+from repro.ot.types import get_type
+
+_op_counter = itertools.count(1)
+
+
+def _fresh_op_id(prefix: str) -> str:
+    return f"{prefix}{next(_op_counter)}"
+
+
+class ConsistencyError(AssertionError):
+    """Raised when a compressed verdict disagrees with the oracle."""
+
+
+class UndoError(RuntimeError):
+    """Raised when the requested undo is not available."""
+
+
+@dataclass(frozen=True)
+class OpMessage:
+    """The wire format of a propagated operation."""
+
+    op: Any
+    timestamp: CompressedTimestamp
+    origin_site: int  # site the operation was originally generated at
+    op_id: str
+    source_op_id: str | None = None  # for notifier outputs: the input op
+
+
+@dataclass(frozen=True)
+class SnapshotMessage:
+    """State transfer for a late-joining client.
+
+    ``base_count`` is the number of operations the notifier had executed
+    when the snapshot was taken; the joiner seeds ``SV_i[1]`` with it so
+    the compressed-timestamp arithmetic (formulas 1-2, 5, 7) stays exact:
+    the snapshot "delivers" those operations in bulk, and the FIFO
+    channel guarantees every later broadcast arrives after it.
+    """
+
+    document: Any
+    base_count: int
+
+
+@dataclass
+class PendingOp:
+    """A broadcast operation awaiting acknowledgement by one destination.
+
+    Each destination holds its **own** record: the form evolves by
+    inclusion transformation against that destination's incoming
+    operations only, keeping the server-to-destination transformation
+    path context-valid (the Jupiter bridge invariant).  Sharing one
+    object across destinations would let one client's traffic corrupt
+    another's path.
+    """
+
+    op: Any
+    op_id: str
+    origin_site: int
+
+
+@dataclass
+class CheckRecord:
+    """One concurrency check, for diagnostics and Fig. 3 assertions."""
+
+    site: int
+    new_op_id: str
+    buffered_op_id: str
+    verdict: bool
+    new_timestamp: list[int]
+    buffered_timestamp: list[int]
+
+
+
+def _execute_remote(ot: Any, state: Any, op: Any, transform_enabled: bool) -> Any:
+    """Execute a remote operation, best-effort when transformation is off.
+
+    The transformation-off mode exists to reproduce the paper's Fig. 2
+    failure behaviour; a naive replica clamps out-of-range positions
+    instead of crashing (see :func:`repro.ot.operations.apply_clamped`).
+    """
+    if transform_enabled:
+        return ot.apply(state, op)
+    from repro.ot.operations import Operation, apply_clamped
+
+    if isinstance(op, Operation) and isinstance(state, str):
+        return apply_clamped(state, op)
+    return ot.apply(state, op)
+
+
+class StarClient(SimProcess):
+    """A collaborating site ``i != 0``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_id: int,
+        ot_type_name: str = "text-positional",
+        initial_state: Any = None,
+        event_log: EventLog | None = None,
+        verify_with_oracle: bool = False,
+        transform_enabled: bool = True,
+        record_checks: bool = True,
+        joining: bool = False,
+    ) -> None:
+        if site_id <= 0:
+            raise ValueError(f"client site ids are 1..N, got {site_id}")
+        super().__init__(sim, site_id)
+        self.ot = get_type(ot_type_name)
+        self.document = self.ot.initial() if initial_state is None else initial_state
+        self.sv = ClientStateVector(site_id)
+        self.hb = HistoryBuffer()
+        # Local operations not yet reflected in a notifier timestamp; each
+        # element is the HistoryEntry so re-transformation updates the HB.
+        self.pending: list[HistoryEntry] = []
+        self.event_log = event_log
+        self.verify_with_oracle = verify_with_oracle
+        self.transform_enabled = transform_enabled
+        # Diagnostic trace of every concurrency check.  O(ops * HB) memory:
+        # keep it on for scenario replays and tests, off for long sessions.
+        self.record_checks = record_checks
+        self.checks: list[CheckRecord] = []
+        self.executed_op_ids: list[str] = []
+        # Late joiners start inactive and are activated by the snapshot.
+        self.active = not joining
+
+    # -- local editing -------------------------------------------------------
+
+    def generate(self, op: Any, op_id: str | None = None) -> str:
+        """Generate, execute and propagate a local operation.
+
+        Returns the operation id.  Per the paper: execute immediately,
+        increment ``SV_i[2]``, timestamp with the current ``SV_i``,
+        propagate to site 0, and buffer in the local HB.
+        """
+        if not self.active:
+            raise RuntimeError(
+                f"site {self.pid} has not received its join snapshot yet"
+            )
+        op_id = op_id or _fresh_op_id(f"c{self.pid}_")
+        inverse = None
+        invert = getattr(self.ot, "invert", None)
+        if invert is not None:
+            try:
+                inverse = invert(self.document, op)
+            except (TypeError, ValueError):
+                inverse = None  # op shape the type cannot invert
+        self.document = self.ot.apply(self.document, op)
+        self.sv.record_local_execution()
+        ts = self.sv.timestamp()
+        entry = HistoryEntry(
+            op=op,
+            timestamp=ts,
+            origin_site=self.pid,
+            origin_kind=OriginKind.LOCAL,
+            op_id=op_id,
+            executed_at=self.sim.now,
+            inverse=inverse,
+        )
+        self.hb.append(entry)
+        self.pending.append(entry)
+        self.executed_op_ids.append(op_id)
+        if self.event_log is not None:
+            self.event_log.generate(self.pid, op_id)
+        message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
+        self.send(0, message, timestamp_bytes=ts.size_bytes())
+        return op_id
+
+    # -- receiving from the notifier ------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, SnapshotMessage):
+            self._install_snapshot(envelope.payload)
+            return
+        if not self.active:
+            raise ConsistencyError(
+                f"site {self.pid} received an operation before its snapshot "
+                "(FIFO violated?)"
+            )
+        message: OpMessage = envelope.payload
+        ts = message.timestamp
+        # The full formula-(5) sweep over the HB is O(|HB|) per arrival
+        # and only needed when recording or oracle-verifying checks; the
+        # FIFO analysis (see _concurrency_pass) proves the concurrent
+        # set equals the unacknowledged-pending set, which the fast path
+        # uses directly.  The slow path cross-checks the two.
+        diagnostics = self.record_checks or self.verify_with_oracle
+        concurrent_entries = self._concurrency_pass(message) if diagnostics else None
+        # FIFO acknowledgement: T[2] local operations are now reflected
+        # in the notifier's state; they stop being "pending".
+        while self.pending and self.pending[0].timestamp.second <= ts.second:
+            self.pending.pop(0)
+        if self.transform_enabled and concurrent_entries is not None:
+            expected = [entry.op_id for entry in self.pending]
+            actual = [entry.op_id for entry in concurrent_entries]
+            if expected != actual:
+                raise ConsistencyError(
+                    f"site {self.pid}: formula (5) concurrent set {actual} != "
+                    f"pending set {expected} for {message.op_id}"
+                )
+        new_op = message.op
+        if self.transform_enabled:
+            for entry in self.pending:
+                new_op, updated = self.ot.transform(
+                    new_op, entry.op, message.origin_site < entry.origin_site
+                )
+                entry.op = updated
+        self.document = _execute_remote(
+            self.ot, self.document, new_op, self.transform_enabled
+        )
+        self.sv.record_remote_execution()
+        self.hb.append(
+            HistoryEntry(
+                op=new_op,
+                timestamp=ts,
+                origin_site=message.origin_site,
+                origin_kind=OriginKind.FROM_CENTER,
+                op_id=message.op_id,
+                executed_at=self.sim.now,
+            )
+        )
+        self.executed_op_ids.append(message.op_id)
+        if self.event_log is not None:
+            self.event_log.execute(self.pid, message.op_id)
+
+    def _concurrency_pass(self, message: OpMessage) -> list[HistoryEntry]:
+        """Run formula (5) over the HB; record and (optionally) verify."""
+        out: list[HistoryEntry] = []
+        for entry in self.hb:
+            verdict = client_concurrent(message.timestamp, entry.timestamp, entry.origin_kind)
+            if self.record_checks:
+                self.checks.append(
+                    CheckRecord(
+                        site=self.pid,
+                        new_op_id=message.op_id,
+                        buffered_op_id=entry.op_id,
+                        verdict=verdict,
+                        new_timestamp=message.timestamp.as_paper_list(),
+                        buffered_timestamp=list(entry.timestamp.as_paper_list()),
+                    )
+                )
+            if self.verify_with_oracle and self.event_log is not None:
+                oracle = vc_concurrent(
+                    self.event_log.generation_clock(message.op_id),
+                    self.event_log.generation_clock(entry.op_id),
+                )
+                if oracle != verdict:
+                    raise ConsistencyError(
+                        f"site {self.pid}: compressed verdict {verdict} != oracle "
+                        f"{oracle} for ({message.op_id}, {entry.op_id})"
+                    )
+            if verdict:
+                out.append(entry)
+        return out
+
+    def undo_last(self) -> str:
+        """Undo this site's most recent operation (undo-as-new-operation).
+
+        Available while the operation is still the site's latest
+        execution: its stored inverse is then defined on the current
+        document, so the undo is generated and propagated like any other
+        local operation -- remote sites need no special handling, and
+        concurrent remote operations are transformed against the undo
+        exactly like against an ordinary edit.
+
+        Raises :class:`UndoError` if the last executed operation was not
+        a local one (a remote operation arrived since -- the inverse's
+        context is gone) or the OT type does not support inversion.
+        """
+        if len(self.hb) == 0:
+            raise UndoError(f"site {self.pid} has nothing to undo")
+        entry = self.hb[len(self.hb) - 1]
+        if entry.origin_kind is not OriginKind.LOCAL:
+            raise UndoError(
+                f"site {self.pid}: a remote operation executed after the last "
+                "local one; undo context is gone"
+            )
+        if entry.inverse is None:
+            raise UndoError(
+                f"OT type {self.ot.name!r} does not support inversion"
+            )
+        return self.generate(entry.inverse)
+
+    def _install_snapshot(self, snapshot: SnapshotMessage) -> None:
+        """Adopt the notifier's state and seed the compressed clock.
+
+        ``SV_i[1] := base_count``: the snapshot stands in for the first
+        ``base_count`` operations of the notifier's stream, so all later
+        timestamp arithmetic lines up with clients that were present from
+        the start.
+        """
+        if self.active:
+            raise ConsistencyError(f"site {self.pid} received a second snapshot")
+        self.document = snapshot.document
+        self.sv.received_from_center = snapshot.base_count
+        self.active = True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Prune HB entries that can never again test concurrent.
+
+        Under FIFO, FROM_CENTER entries never satisfy formula (5), and a
+        LOCAL entry stops mattering once acknowledged (it left
+        ``pending``).  Returns the number of entries removed.
+        """
+        pending_ids = {entry.op_id for entry in self.pending}
+        return self.hb.garbage_collect(lambda entry: entry.op_id in pending_ids)
+
+    def clock_storage_ints(self) -> int:
+        """Resident clock-state integers: the paper's constant 2."""
+        return self.sv.storage_ints()
+
+
+class StarNotifier(SimProcess):
+    """Site 0: the notifier at the centre of the star."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_sites: int,
+        ot_type_name: str = "text-positional",
+        initial_state: Any = None,
+        event_log: EventLog | None = None,
+        verify_with_oracle: bool = False,
+        transform_enabled: bool = True,
+        record_checks: bool = True,
+    ) -> None:
+        super().__init__(sim, 0)
+        if n_sites < 1:
+            raise ValueError(f"need at least one collaborating site, got {n_sites}")
+        self.n_sites = n_sites
+        self.ot = get_type(ot_type_name)
+        self.document = self.ot.initial() if initial_state is None else initial_state
+        self.sv = NotifierStateVector(n_sites)
+        self.hb = HistoryBuffer()
+        # Per destination: broadcast operations the destination has not
+        # yet acknowledged, each in its per-destination form.
+        self.sent_to: dict[int, list[PendingOp]] = {i: [] for i in range(1, n_sites + 1)}
+        # How many entries have been dropped from each sent_to list.
+        self.acked: dict[int, int] = {i: 0 for i in range(1, n_sites + 1)}
+        self.event_log = event_log
+        self.verify_with_oracle = verify_with_oracle
+        self.transform_enabled = transform_enabled
+        self.record_checks = record_checks
+        self.checks: list[CheckRecord] = []
+        self.executed_op_ids: list[str] = []
+        self.broadcast_log: list[tuple[str, int, CompressedTimestamp]] = []
+
+    def on_message(self, envelope: Envelope) -> None:
+        message: OpMessage = envelope.payload
+        source = envelope.source
+        ts = message.timestamp
+        diagnostics = self.record_checks or self.verify_with_oracle
+        concurrent_entries = (
+            self._concurrency_pass(message, source) if diagnostics else None
+        )
+        # FIFO acknowledgement: the source has seen the first T[1]
+        # operations ever sent to it; drop them from its pending list.
+        already = self.acked[source]
+        to_drop = ts.first - already
+        if to_drop < 0:
+            raise ConsistencyError(
+                f"notifier: site {source} acknowledged {ts.first} < previously "
+                f"acknowledged {already} (FIFO violated?)"
+            )
+        del self.sent_to[source][:to_drop]
+        self.acked[source] = ts.first
+        if self.transform_enabled and concurrent_entries is not None:
+            expected = [entry.op_id for entry in self.sent_to[source]]
+            actual = [entry.op_id for entry in concurrent_entries]
+            if expected != actual:
+                raise ConsistencyError(
+                    f"notifier: formula (7) concurrent set {actual} != pending "
+                    f"set {expected} for {message.op_id} from site {source}"
+                )
+        new_op = message.op
+        if self.transform_enabled:
+            for entry in self.sent_to[source]:
+                new_op, updated = self.ot.transform(
+                    new_op, entry.op, source < entry.origin_site
+                )
+                entry.op = updated
+        # Execute; the transformed operation becomes a *new* operation
+        # "generated at site 0" (paper Section 3.1 / Fig. 3).
+        self.document = _execute_remote(
+            self.ot, self.document, new_op, self.transform_enabled
+        )
+        self.sv.record_execution_from(source)
+        transformed_id = f"{message.op_id}'"
+        self.executed_op_ids.append(transformed_id)
+        if self.event_log is not None:
+            self.event_log.execute(0, message.op_id)
+            self.event_log.generate(0, transformed_id)
+        self.hb.append(
+            HistoryEntry(
+                op=new_op,
+                timestamp=self.sv.full_timestamp(),
+                origin_site=source,
+                origin_kind=OriginKind.FROM_CLIENT,
+                op_id=transformed_id,
+                executed_at=self.sim.now,
+                source_op_id=message.op_id,
+            )
+        )
+        # Broadcast the transformed form to every other site with a
+        # per-destination compressed timestamp (formulas 1-2).
+        for dest in range(1, self.n_sites + 1):
+            if dest == source:
+                continue
+            dest_ts = self.sv.compress_for_destination(dest)
+            self.broadcast_log.append((transformed_id, dest, dest_ts))
+            out = OpMessage(
+                op=new_op,
+                timestamp=dest_ts,
+                origin_site=source,
+                op_id=transformed_id,
+                source_op_id=message.op_id,
+            )
+            self.send(dest, out, timestamp_bytes=dest_ts.size_bytes())
+            self.sent_to[dest].append(
+                PendingOp(op=new_op, op_id=transformed_id, origin_site=source)
+            )
+
+    def _concurrency_pass(self, message: OpMessage, source: int) -> list[HistoryEntry]:
+        """Run formula (7) over ``HB_0``; record and (optionally) verify."""
+        out: list[HistoryEntry] = []
+        for entry in self.hb:
+            assert entry.origin_kind is OriginKind.FROM_CLIENT
+            verdict = notifier_concurrent(
+                message.timestamp, source, entry.timestamp, entry.origin_site
+            )
+            if self.record_checks:
+                self.checks.append(
+                    CheckRecord(
+                        site=0,
+                        new_op_id=message.op_id,
+                        buffered_op_id=entry.op_id,
+                        verdict=verdict,
+                        new_timestamp=message.timestamp.as_paper_list(),
+                        buffered_timestamp=list(entry.timestamp.as_paper_list()),
+                    )
+                )
+            if self.verify_with_oracle and self.event_log is not None:
+                # Formula (6)/(7) is defined over the operations as
+                # "originally generated at sites x and y": compare the
+                # original client operations' generation clocks.
+                oracle = vc_concurrent(
+                    self.event_log.generation_clock(message.op_id),
+                    self.event_log.generation_clock(entry.source_op_id),
+                )
+                if oracle != verdict:
+                    raise ConsistencyError(
+                        f"notifier: compressed verdict {verdict} != oracle {oracle} "
+                        f"for ({message.op_id}, {entry.source_op_id})"
+                    )
+            if verdict:
+                out.append(entry)
+        return out
+
+    def admit_client(self, client: "StarClient") -> None:
+        """Admit a late joiner: grow ``SV_0`` and send the state snapshot.
+
+        The snapshot covers every operation executed so far, so the
+        joiner's acknowledgement horizon starts at ``SV_0.total()`` and
+        nothing is pending for it; FIFO on the fresh channel guarantees
+        the snapshot precedes any subsequent broadcast.
+        """
+        site_id = self.sv.add_site()
+        if client.pid != site_id:
+            raise ValueError(
+                f"joiner must take the next site id {site_id}, got {client.pid}"
+            )
+        self.n_sites = site_id
+        self.sent_to[site_id] = []
+        self.acked[site_id] = self.sv.total()
+        self.send(
+            site_id,
+            SnapshotMessage(document=self.document, base_count=self.sv.total()),
+            timestamp_bytes=0,
+            kind="snapshot",
+        )
+
+    def collect_garbage(self) -> int:
+        """Prune HB entries no longer pending for any destination."""
+        needed = {pending.op_id for entries in self.sent_to.values() for pending in entries}
+        return self.hb.garbage_collect(lambda entry: entry.op_id in needed)
+
+    def clock_storage_ints(self) -> int:
+        """Resident clock-state integers at the notifier: N."""
+        return self.sv.storage_ints()
+
+
+class StarSession:
+    """A complete editing session: one notifier plus N clients."""
+
+    def __init__(
+        self,
+        n_sites: int,
+        ot_type_name: str = "text-positional",
+        initial_state: Any = None,
+        latency_factory: Callable[[int, int], LatencyModel] | None = None,
+        verify_with_oracle: bool = False,
+        transform_enabled: bool = True,
+        record_events: bool = True,
+        record_checks: bool = True,
+    ) -> None:
+        self.sim = Simulator()
+        self._ot_type_name = ot_type_name
+        self._transform_enabled = transform_enabled
+        self._record_checks = record_checks
+        self.event_log = EventLog(n_sites + 1) if record_events else None
+        self.notifier = StarNotifier(
+            self.sim,
+            n_sites,
+            ot_type_name,
+            initial_state,
+            self.event_log,
+            verify_with_oracle,
+            transform_enabled,
+            record_checks,
+        )
+        self.clients = [
+            StarClient(
+                self.sim,
+                i,
+                ot_type_name,
+                initial_state,
+                self.event_log,
+                verify_with_oracle,
+                transform_enabled,
+                record_checks,
+            )
+            for i in range(1, n_sites + 1)
+        ]
+        self.topology = StarTopology(
+            self.sim, [self.notifier, *self.clients], latency_factory
+        )
+
+    def add_client(self, at: float) -> int:
+        """Schedule a late join at virtual time ``at``; returns the site id.
+
+        At ``at`` the new client is wired to the notifier, admitted (the
+        notifier grows ``SV_0`` by one entry) and sent a state snapshot;
+        it may generate operations once the snapshot has arrived.
+
+        Dynamic membership is incompatible with the fixed-size
+        ground-truth event log, so it requires ``record_events=False``.
+        """
+        if self.event_log is not None:
+            raise ValueError(
+                "dynamic membership needs record_events=False (the event "
+                "log's vector clocks have a fixed site count)"
+            )
+        site_id = len(self.clients) + 1
+        client = StarClient(
+            self.sim,
+            site_id,
+            self._ot_type_name,
+            None,
+            None,
+            False,
+            self._transform_enabled,
+            self._record_checks,
+            joining=True,
+        )
+        self.clients.append(client)
+
+        def join() -> None:
+            self.topology.add_client(client)
+            self.notifier.admit_client(client)
+
+        self.sim.schedule(at, join)
+        return site_id
+
+    def client(self, site_id: int) -> StarClient:
+        """The client for 1-based ``site_id``."""
+        if not 1 <= site_id <= len(self.clients):
+            raise IndexError(f"site ids are 1..{len(self.clients)}, got {site_id}")
+        return self.clients[site_id - 1]
+
+    def generate_at(self, site_id: int, op: Any, at: float, op_id: str | None = None) -> None:
+        """Schedule generation of ``op`` at ``site_id`` at virtual time ``at``."""
+        client = self.client(site_id)
+        self.sim.schedule(at, lambda: client.generate(op, op_id))
+
+    def run(self, until: float | None = None) -> int:
+        """Run the simulation; returns the number of events executed."""
+        return self.sim.run(until=until)
+
+    def documents(self) -> list[Any]:
+        """Document states: ``[notifier, client 1, ..., client N]``."""
+        return [self.notifier.document] + [c.document for c in self.clients]
+
+    def converged(self) -> bool:
+        """True iff all sites (including the notifier) hold equal state."""
+        docs = self.documents()
+        return all(doc == docs[0] for doc in docs[1:])
+
+    def quiescent(self) -> bool:
+        """True iff no message is still in flight."""
+        return self.sim.pending_events == 0
+
+    def all_checks(self) -> list[CheckRecord]:
+        records = list(self.notifier.checks)
+        for client in self.clients:
+            records.extend(client.checks)
+        return records
+
+    def wire_stats(self):
+        return self.topology.total_stats()

@@ -1,0 +1,146 @@
+"""Timestamp and memory accounting across clock schemes (CLAIM-OVH/MEM).
+
+The accounting model is shared by every scheme (see
+:data:`repro.net.transport.INT_WIDTH`): a serialised integer costs 4
+bytes.  Then per message:
+
+* full vector clock: ``4 * N`` bytes (N = number of processes);
+* Lamport scalar: 4 bytes (but cannot detect concurrency);
+* Singhal-Kshemkalyani: ``8 * (entries changed since the last message
+  on this channel)`` -- workload dependent, measured by replaying a
+  communication pattern through real :class:`repro.clocks.sk.SKProcess`
+  instances;
+* compressed scheme (the paper): ``8`` bytes, constant.
+
+Memory (resident clock-state integers per process):
+
+* full vectors: N;
+* SK: 3N (VC + last-sent + last-update);
+* compressed: 2 at each client, N at the notifier only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.clocks.sk import SKProcess
+from repro.net.transport import INT_WIDTH
+
+
+def full_vector_timestamp_bytes(n: int) -> int:
+    """Per-message timestamp bytes for a full N-element vector clock."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return INT_WIDTH * n
+
+
+def lamport_timestamp_bytes() -> int:
+    """Per-message bytes for a scalar Lamport clock."""
+    return INT_WIDTH
+
+
+def compressed_timestamp_bytes() -> int:
+    """Per-message bytes for the paper's compressed scheme: constant."""
+    return 2 * INT_WIDTH
+
+
+def sk_expected_timestamp_bytes(n: int, locality: float, seed: int = 0,
+                                messages: int = 2000) -> float:
+    """Measured mean per-message bytes for Singhal-Kshemkalyani.
+
+    Replays a random communication pattern through real SK processes.
+    ``locality`` in ``[0, 1]`` controls interaction locality: with
+    probability ``locality`` a process messages a fixed neighbour,
+    otherwise a uniformly random process.  High locality is SK's best
+    case (few changed entries per message); low locality degrades toward
+    the full vector.
+    """
+    if n < 2:
+        raise ValueError("SK needs at least two processes")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be in [0, 1]")
+    rng = random.Random(seed)
+    processes = [SKProcess(pid, n) for pid in range(n)]
+    total_bytes = 0
+    for _ in range(messages):
+        sender = rng.randrange(n)
+        if rng.random() < locality:
+            dest = (sender + 1) % n
+        else:
+            dest = rng.randrange(n)
+            while dest == sender:
+                dest = rng.randrange(n)
+        message = processes[sender].prepare_send(dest)
+        total_bytes += message.size_bytes(INT_WIDTH)
+        processes[dest].receive(message)
+    return total_bytes / messages
+
+
+@dataclass(frozen=True)
+class SchemeOverhead:
+    """One row of the overhead table: per-message timestamp bytes."""
+
+    n: int
+    full_vector: int
+    lamport: int
+    sk_local: float  # SK under high interaction locality
+    sk_uniform: float  # SK under uniform (worst-ish) interaction
+    compressed: int
+
+    def as_row(self) -> str:
+        return (
+            f"{self.n:>6} | {self.full_vector:>10} | {self.lamport:>7} | "
+            f"{self.sk_local:>10.1f} | {self.sk_uniform:>11.1f} | {self.compressed:>10}"
+        )
+
+
+def overhead_sweep(n_values: Iterable[int], seed: int = 0,
+                   messages: int = 1000) -> list[SchemeOverhead]:
+    """The CLAIM-OVH table: timestamp bytes vs system size."""
+    rows = []
+    for n in n_values:
+        rows.append(
+            SchemeOverhead(
+                n=n,
+                full_vector=full_vector_timestamp_bytes(n),
+                lamport=lamport_timestamp_bytes(),
+                sk_local=sk_expected_timestamp_bytes(n, 0.9, seed, messages),
+                sk_uniform=sk_expected_timestamp_bytes(n, 0.0, seed, messages),
+                compressed=compressed_timestamp_bytes(),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class MemoryComparison:
+    """Resident clock-state integers per process (CLAIM-MEM)."""
+
+    n: int
+    full_vector_per_process: int
+    sk_per_process: int
+    compressed_client: int
+    compressed_notifier: int
+
+    def as_row(self) -> str:
+        return (
+            f"{self.n:>6} | {self.full_vector_per_process:>12} | "
+            f"{self.sk_per_process:>8} | {self.compressed_client:>11} | "
+            f"{self.compressed_notifier:>13}"
+        )
+
+
+def memory_comparison(n_values: Sequence[int]) -> list[MemoryComparison]:
+    """The CLAIM-MEM table: clock storage per process vs system size."""
+    return [
+        MemoryComparison(
+            n=n,
+            full_vector_per_process=n,
+            sk_per_process=3 * n,
+            compressed_client=2,
+            compressed_notifier=n,
+        )
+        for n in n_values
+    ]

@@ -1,0 +1,43 @@
+"""Discrete-event network simulation substrate.
+
+The paper's system ran as Java applets talking TCP to a Web-server
+notifier over the Internet.  The algorithm relies on exactly two
+transport properties:
+
+1. a **star topology** -- clients talk only to the notifier;
+2. **FIFO channels** -- per-connection delivery order equals send order
+   (the TCP property the paper leans on to simplify formulas 4->5 and
+   6->7).
+
+This subpackage provides a deterministic discrete-event simulator whose
+channels guarantee those properties while letting experiments inject
+arbitrary, per-channel, possibly random latency -- a strictly more
+adversarial environment than a single live demo, and reproducible under
+a seed.
+"""
+
+from repro.net.simulator import Simulator
+from repro.net.channel import (
+    FIFOChannel,
+    FixedLatency,
+    JitterLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.net.transport import Envelope, measure_payload_bytes
+from repro.net.topology import StarTopology, MeshTopology
+from repro.net.process import SimProcess
+
+__all__ = [
+    "Simulator",
+    "FIFOChannel",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "JitterLatency",
+    "Envelope",
+    "measure_payload_bytes",
+    "StarTopology",
+    "MeshTopology",
+    "SimProcess",
+]

@@ -1,0 +1,137 @@
+"""FIFO channels with pluggable latency models.
+
+The paper's correctness arguments (the simplification of formula 4 to 5
+and of formula 6 to 7) rest on the FIFO property of TCP connections.
+:class:`FIFOChannel` guarantees it under *any* latency model by clamping
+each delivery time to be no earlier than the previous delivery on the
+same channel -- exactly how a TCP byte stream behaves when packets are
+reordered underneath it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.simulator import Simulator
+from repro.net.transport import Envelope
+
+
+class LatencyModel:
+    """Strategy object producing a one-way latency sample per message."""
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class FixedLatency(LatencyModel):
+    """Constant latency (useful for scripted, order-exact scenarios)."""
+
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+    def sample(self) -> float:
+        return self.latency
+
+
+@dataclass
+class UniformLatency(LatencyModel):
+    """Uniform latency in ``[low, high)`` from a seeded RNG."""
+
+    low: float
+    high: float
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError(f"need 0 <= low <= high, got [{self.low}, {self.high})")
+
+    def sample(self) -> float:
+        return self.rng.uniform(self.low, self.high)
+
+
+@dataclass
+class JitterLatency(LatencyModel):
+    """Log-normal latency: a long-tailed Internet-like model."""
+
+    median: float = 0.05
+    sigma: float = 0.6
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError(f"median must be > 0, got {self.median}")
+
+    def sample(self) -> float:
+        import math
+
+        return self.rng.lognormvariate(math.log(self.median), self.sigma)
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel delivery accounting."""
+
+    messages: int = 0
+    total_bytes: int = 0
+    timestamp_bytes: int = 0
+    payload_bytes: int = 0
+
+
+class FIFOChannel:
+    """A unidirectional FIFO channel between two simulated processes.
+
+    Messages sent through :meth:`send` are delivered to ``on_deliver``
+    in send order; each delivery time is ``max(now + latency,
+    last_delivery)`` so FIFO holds even when latency samples would
+    reorder messages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: int,
+        dest: int,
+        latency: LatencyModel,
+        on_deliver: Callable[[Envelope], None],
+    ) -> None:
+        self.sim = sim
+        self.source = source
+        self.dest = dest
+        self.latency = latency
+        self.on_deliver = on_deliver
+        self.stats = ChannelStats()
+        self._last_delivery = 0.0
+        self._delivered_ids: list[int] = []
+        self._sent_ids: list[int] = []
+
+    def send(self, envelope: Envelope) -> float:
+        """Enqueue ``envelope``; returns its delivery time."""
+        if envelope.source != self.source or envelope.dest != self.dest:
+            raise ValueError(
+                f"envelope addressed {envelope.source}->{envelope.dest} sent on "
+                f"channel {self.source}->{self.dest}"
+            )
+        delivery = max(self.sim.now + self.latency.sample(), self._last_delivery)
+        self._last_delivery = delivery
+        self._sent_ids.append(envelope.message_id)
+        self.stats.messages += 1
+        self.stats.total_bytes += envelope.total_bytes()
+        self.stats.timestamp_bytes += envelope.timestamp_bytes
+        self.stats.payload_bytes += envelope.total_bytes() - envelope.timestamp_bytes - 8
+
+        def deliver() -> None:
+            self._delivered_ids.append(envelope.message_id)
+            self.on_deliver(envelope)
+
+        self.sim.schedule(delivery, deliver)
+        return delivery
+
+    def fifo_respected(self) -> bool:
+        """True iff every delivery so far happened in send order."""
+        return self._delivered_ids == self._sent_ids[: len(self._delivered_ids)]

@@ -1,0 +1,191 @@
+"""Binary wire codec for the star protocol.
+
+The byte-accounting used by the overhead experiments (CLAIM-OVH,
+CLAIM-E2E) is grounded here: messages really do serialise to the sizes
+the accounting model charges.  The format is a simple length-prefixed
+tag-value encoding:
+
+* integers: unsigned 32-bit big-endian (the shared ``INT_WIDTH = 4``);
+* strings: u32 length + UTF-8 bytes;
+* a compressed timestamp: exactly two u32 -- the paper's constant;
+* operations: 1-byte tag + fields (``Insert``: pos + text; ``Delete``:
+  pos + count; groups: member count + members).
+
+``encode_op_message`` / ``decode_op_message`` round-trip the full
+:class:`repro.editor.star.OpMessage`; the property suite checks
+``decode(encode(m)) == m`` and that measured sizes match
+:func:`repro.net.transport.measure_payload_bytes` within the codec's
+framing overhead.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.core.timestamp import CompressedTimestamp
+from repro.net.transport import INT_WIDTH
+from repro.ot.operations import Delete, Identity, Insert, Operation, OperationGroup
+
+_U32 = struct.Struct(">I")
+
+TAG_INSERT = 0x01
+TAG_DELETE = 0x02
+TAG_IDENTITY = 0x03
+TAG_GROUP = 0x04
+
+
+class CodecError(ValueError):
+    """Raised on malformed wire data."""
+
+
+class Writer:
+    """An append-only byte buffer with typed writers."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFF:
+            raise CodecError(f"u8 out of range: {value}")
+        self._chunks.append(bytes([value]))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise CodecError(f"u32 out of range: {value}")
+        self._chunks.append(_U32.pack(value))
+        return self
+
+    def string(self, value: str) -> "Writer":
+        data = value.encode("utf-8")
+        self.u32(len(data))
+        self._chunks.append(data)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+
+class Reader:
+    """A cursor over received bytes with typed readers."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise CodecError(
+                f"truncated message: wanted {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def string(self) -> str:
+        length = self.u32()
+        return self._take(length).decode("utf-8")
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+    def expect_done(self) -> None:
+        if not self.done():
+            raise CodecError(
+                f"{len(self._data) - self._pos} trailing bytes after message"
+            )
+
+
+# -- operations ---------------------------------------------------------------
+
+
+def encode_operation(op: Operation, writer: Writer) -> None:
+    """Serialise a positional operation (or group)."""
+    if isinstance(op, Insert):
+        writer.u8(TAG_INSERT).u32(op.pos).string(op.text)
+    elif isinstance(op, Delete):
+        writer.u8(TAG_DELETE).u32(op.pos).u32(op.count)
+    elif isinstance(op, Identity):
+        writer.u8(TAG_IDENTITY)
+    elif isinstance(op, OperationGroup):
+        writer.u8(TAG_GROUP).u32(len(op.members))
+        for member in op.members:
+            encode_operation(member, writer)
+    else:
+        raise CodecError(f"cannot encode operation type {type(op).__name__}")
+
+
+def decode_operation(reader: Reader) -> Operation:
+    tag = reader.u8()
+    if tag == TAG_INSERT:
+        pos = reader.u32()
+        return Insert(reader.string(), pos)
+    if tag == TAG_DELETE:
+        pos = reader.u32()
+        return Delete(reader.u32(), pos)
+    if tag == TAG_IDENTITY:
+        return Identity()
+    if tag == TAG_GROUP:
+        count = reader.u32()
+        return OperationGroup(tuple(decode_operation(reader) for _ in range(count)))
+    raise CodecError(f"unknown operation tag 0x{tag:02x}")
+
+
+# -- timestamps ---------------------------------------------------------------
+
+
+def encode_timestamp(ts: CompressedTimestamp, writer: Writer) -> None:
+    """Exactly ``2 * INT_WIDTH`` bytes -- the paper's constant."""
+    writer.u32(ts.first).u32(ts.second)
+
+
+def decode_timestamp(reader: Reader) -> CompressedTimestamp:
+    first = reader.u32()
+    return CompressedTimestamp(first, reader.u32())
+
+
+TIMESTAMP_WIRE_BYTES = 2 * INT_WIDTH
+
+
+# -- whole messages -----------------------------------------------------------
+
+
+def encode_op_message(message: Any) -> bytes:
+    """Serialise a :class:`repro.editor.star.OpMessage` to bytes."""
+    writer = Writer()
+    encode_timestamp(message.timestamp, writer)
+    writer.u32(message.origin_site)
+    writer.string(message.op_id)
+    writer.string(message.source_op_id or "")
+    encode_operation(message.op, writer)
+    return writer.getvalue()
+
+
+def decode_op_message(data: bytes) -> Any:
+    from repro.editor.star import OpMessage
+
+    reader = Reader(data)
+    ts = decode_timestamp(reader)
+    origin_site = reader.u32()
+    op_id = reader.string()
+    source_op_id = reader.string() or None
+    op = decode_operation(reader)
+    reader.expect_done()
+    return OpMessage(
+        op=op,
+        timestamp=ts,
+        origin_site=origin_site,
+        op_id=op_id,
+        source_op_id=source_op_id,
+    )

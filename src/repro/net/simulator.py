@@ -1,0 +1,115 @@
+"""A minimal deterministic discrete-event simulator.
+
+Events are ``(time, tie_break, callback)`` triples in a binary heap; the
+tie-break is a monotonically increasing sequence number, so simultaneous
+events fire in scheduling order and a given seed always reproduces the
+same execution -- the property every experiment in EXPERIMENTS.md
+depends on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling misuse (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Event loop with virtual time.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: ...)
+        sim.run()           # run to quiescence
+        sim.run(until=10.0) # or bounded
+
+    Callbacks may schedule further events; time never flows backwards.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events scheduled but not yet executed."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Schedule ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run to quiescence, a time bound, or an event-count bound.
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self._now < until and not self._queue:
+            self._now = until
+        return executed

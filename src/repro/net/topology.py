@@ -1,0 +1,109 @@
+"""Topology builders: the paper's star (Fig. 1) and the mesh baseline.
+
+A topology wires :class:`~repro.net.process.SimProcess` instances with
+unidirectional :class:`~repro.net.channel.FIFOChannel` pairs and exposes
+aggregate wire statistics for the end-to-end benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.net.channel import ChannelStats, FIFOChannel, FixedLatency, LatencyModel
+from repro.net.process import SimProcess
+from repro.net.simulator import Simulator
+
+
+class _BaseTopology:
+    def __init__(self) -> None:
+        self.channels: dict[tuple[int, int], FIFOChannel] = {}
+
+    def _connect(
+        self,
+        sim: Simulator,
+        a: SimProcess,
+        b: SimProcess,
+        latency_factory: Callable[[int, int], LatencyModel],
+    ) -> None:
+        """Install a bidirectional pair of FIFO channels between a and b."""
+        for src, dst in ((a, b), (b, a)):
+            channel = FIFOChannel(
+                sim,
+                src.pid,
+                dst.pid,
+                latency_factory(src.pid, dst.pid),
+                dst.on_message,
+            )
+            src.attach_channel(dst.pid, channel)
+            self.channels[(src.pid, dst.pid)] = channel
+
+    def total_stats(self) -> ChannelStats:
+        """Aggregate wire statistics over every channel."""
+        agg = ChannelStats()
+        for channel in self.channels.values():
+            agg.messages += channel.stats.messages
+            agg.total_bytes += channel.stats.total_bytes
+            agg.timestamp_bytes += channel.stats.timestamp_bytes
+            agg.payload_bytes += channel.stats.payload_bytes
+        return agg
+
+    def fifo_respected(self) -> bool:
+        """True iff no channel ever delivered out of send order."""
+        return all(ch.fifo_respected() for ch in self.channels.values())
+
+    def edge_count(self) -> int:
+        """Number of unidirectional channels."""
+        return len(self.channels)
+
+
+class StarTopology(_BaseTopology):
+    """The paper's Fig. 1: clients connected only to the notifier (pid 0).
+
+    ``processes[0]`` must be the notifier; clients are ``processes[1:]``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processes: Sequence[SimProcess],
+        latency_factory: Callable[[int, int], LatencyModel] | None = None,
+    ) -> None:
+        super().__init__()
+        if len(processes) < 2:
+            raise ValueError("a star needs the notifier plus at least one client")
+        if processes[0].pid != 0:
+            raise ValueError("the notifier must have pid 0 (paper convention)")
+        self._sim = sim
+        self._center = processes[0]
+        self._factory = latency_factory or (lambda s, d: FixedLatency(0.05))
+        for client in processes[1:]:
+            self._connect(sim, self._center, client, self._factory)
+
+    def add_client(self, client: SimProcess) -> None:
+        """Wire a late-joining client to the notifier (dynamic membership)."""
+        if (0, client.pid) in self.channels:
+            raise ValueError(f"client {client.pid} is already connected")
+        self._connect(self._sim, self._center, client, self._factory)
+
+
+class MeshTopology(_BaseTopology):
+    """Fully-distributed topology: every pair of sites directly connected.
+
+    This is the original (non-Web) REDUCE deployment the paper contrasts
+    with; it needs full vector clocks because no single process redefines
+    the causality relation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processes: Sequence[SimProcess],
+        latency_factory: Callable[[int, int], LatencyModel] | None = None,
+    ) -> None:
+        super().__init__()
+        if len(processes) < 2:
+            raise ValueError("a mesh needs at least two sites")
+        factory = latency_factory or (lambda s, d: FixedLatency(0.05))
+        for i, a in enumerate(processes):
+            for b in processes[i + 1 :]:
+                self._connect(sim, a, b, factory)

@@ -1,0 +1,66 @@
+"""ASCII space-time diagrams: textual renderings of Figs. 1-3.
+
+The examples regenerate the paper's figures as terminal art:
+:func:`render_star_topology` draws Fig. 1 (clients around the notifier)
+and :func:`render_spacetime` draws Fig. 2/3-style diagrams (sites as
+columns, virtual time flowing downward, one row per generation or
+execution event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def render_star_topology(n_clients: int, max_named: int = 8) -> str:
+    """Fig. 1: the star-like topology of Web-based REDUCE."""
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    shown = min(n_clients, max_named)
+    lines = []
+    lines.append("            Web server machine")
+    lines.append("          +--------------------+")
+    lines.append("          |  REDUCE  notifier  |")
+    lines.append("          |      (site 0)      |")
+    lines.append("          +--------------------+")
+    spokes = "            " + " ".join("/" if i % 2 == 0 else "\\" for i in range(min(shown, 6)))
+    lines.append(spokes)
+    row = "   ".join(f"[site {i}]" for i in range(1, shown + 1))
+    lines.append("  " + row)
+    if n_clients > shown:
+        lines.append(f"  ... and {n_clients - shown} more collaborating applets")
+    lines.append("")
+    lines.append(f"  {n_clients} REDUCE applets, each connected ONLY to the notifier")
+    lines.append("  (TCP, FIFO); the notifier maps N-way to 2-way communication.")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DiagramEvent:
+    """One row of a space-time diagram."""
+
+    time: float
+    site: int
+    label: str  # e.g. "gen O2 [0,1]" or "exec O2' [1,0]"
+
+
+def render_spacetime(
+    n_sites: int, events: Sequence[DiagramEvent], col_width: int = 18
+) -> str:
+    """Sites as columns (site 0 first), time flowing downward."""
+    if n_sites < 1:
+        raise ValueError("need at least one site")
+    header = "".join(f"site {site}".center(col_width) for site in range(n_sites))
+    ruler = "".join("|".center(col_width) for _ in range(n_sites))
+    lines = [header, ruler]
+    for event in sorted(events, key=lambda e: (e.time, e.site)):
+        if not 0 <= event.site < n_sites:
+            raise ValueError(f"event site {event.site} out of range")
+        cells = []
+        for site in range(n_sites):
+            cells.append(
+                event.label.center(col_width) if site == event.site else "|".center(col_width)
+            )
+        lines.append("".join(cells) + f"  t={event.time:g}")
+    return "\n".join(lines)

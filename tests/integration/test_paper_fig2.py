@@ -1,0 +1,93 @@
+"""FIG2: the paper's Fig. 2 inconsistency scenario, reproduced.
+
+Runs the scripted four-operation scenario with transformation DISABLED
+(operations relayed in their original forms, exactly Fig. 2) and asserts
+both inconsistency problems the paper demonstrates:
+
+* **divergence** -- the four sites end in four different documents;
+* **intention violation** -- site 1's execution of ``O_1`` then the
+  untransformed ``O_2`` yields ``"A1DE"`` instead of the
+  intention-preserved ``"A12B"``.
+"""
+
+from repro.analysis.consistency import check_divergence, intention_preserved_pair
+from repro.editor.star import StarSession
+from repro.workloads.scripted import (
+    FIG2_INITIAL_DOCUMENT,
+    FIG3_EXPECTED,
+    fig2_intention_example,
+    fig3_script,
+    fig_latency_factory,
+)
+
+
+def run_fig2_session() -> StarSession:
+    session = StarSession(
+        n_sites=3,
+        initial_state=FIG2_INITIAL_DOCUMENT,
+        latency_factory=fig_latency_factory,
+        transform_enabled=False,
+    )
+    for item in fig3_script():
+        session.generate_at(item.site, item.op, item.time, op_id=item.op_id)
+    session.run()
+    assert session.quiescent()
+    return session
+
+
+class TestFig2ExecutionOrders:
+    def test_per_site_execution_orders_match_figure(self):
+        session = run_fig2_session()
+        expected = FIG3_EXPECTED["execution_orders"]
+        assert session.notifier.executed_op_ids == expected[0]
+        for client in session.clients:
+            assert client.executed_op_ids == expected[client.pid], f"site {client.pid}"
+
+
+class TestFig2Divergence:
+    def test_sites_diverge_without_transformation(self):
+        session = run_fig2_session()
+        report = check_divergence(session.documents())
+        assert report.diverged
+        # all four sites disagree (the strongest form of the figure)
+        assert len(report.distinct_states) == 4
+
+    def test_final_documents_match_derivation(self):
+        session = run_fig2_session()
+        expected = FIG3_EXPECTED["fig2_final_documents"]
+        assert session.notifier.document == expected[0]
+        for client in session.clients:
+            assert client.document == expected[client.pid], f"site {client.pid}"
+
+    def test_site1_exhibits_paper_intention_violation(self):
+        """After O_1 and the untransformed O_2, site 1 reads "A1DE"."""
+        session = StarSession(
+            n_sites=3,
+            initial_state=FIG2_INITIAL_DOCUMENT,
+            latency_factory=fig_latency_factory,
+            transform_enabled=False,
+        )
+        for item in fig3_script():
+            session.generate_at(item.site, item.op, item.time, op_id=item.op_id)
+        # run until just after O_2 reaches site 1 (arrival at 2.5)
+        session.run(until=2.6)
+        assert session.client(1).document == "A1DE"
+
+
+class TestFig2IntentionExample:
+    def test_section_2_2_example_end_to_end(self):
+        doc, o1, o2, preserved, naive = fig2_intention_example()
+        check = intention_preserved_pair(doc, o1, o2)
+        assert check.preserved_result == preserved == "A12B"
+        assert check.naive_results[0] == naive == "A1DE"
+        assert check.naive_violates
+
+    def test_transformed_O2_is_delete_3_4(self):
+        """The paper: O_2' = Delete[3, 4] after transforming against O_1."""
+        from repro.ot.operations import Delete
+        from repro.ot.transform import inclusion_transform
+
+        doc, o1, o2, preserved, _ = fig2_intention_example()
+        o2_prime = inclusion_transform(o2, o1)
+        assert o2_prime == Delete(3, 4)
+        assert o2_prime.apply(o1.apply(doc)) == preserved

@@ -1,0 +1,225 @@
+"""Integration tests for the star editor on non-scripted workloads."""
+
+import random
+
+import pytest
+
+from repro.editor.star import ConsistencyError, StarSession
+from repro.net.channel import JitterLatency, UniformLatency
+from repro.ot.operations import Delete, Insert
+from repro.workloads.random_session import RandomSessionConfig, drive_star_session
+from repro.workloads.typing_model import TypingBurstConfig
+from repro.workloads.typing_model import drive_typing_session
+
+
+def uniform_latencies(seed):
+    def factory(src, dst):
+        return UniformLatency(0.01, 1.5, random.Random(seed * 31 + src * 7 + dst))
+
+    return factory
+
+
+class TestBasicSessions:
+    def test_single_client_echo_free(self):
+        """With one client the notifier must not echo ops back."""
+        session = StarSession(n_sites=1, initial_state="abc")
+        session.generate_at(1, Insert("x", 0), at=1.0)
+        session.run()
+        assert session.converged()
+        assert session.client(1).sv.as_paper_list() == [0, 1]
+        assert session.notifier.sv.as_paper_list() == [1]
+
+    def test_two_concurrent_inserts_ordered_by_site_priority(self):
+        session = StarSession(n_sites=2, initial_state="ab")
+        session.generate_at(1, Insert("X", 1), at=1.0)
+        session.generate_at(2, Insert("Y", 1), at=1.0)
+        session.run()
+        assert session.converged()
+        # site 1 has priority: its insert ends up first
+        assert session.notifier.document == "aXYb"
+
+    def test_sequential_edits_no_transformation_needed(self):
+        session = StarSession(n_sites=2, initial_state="")
+        session.generate_at(1, Insert("hello", 0), at=1.0)
+        session.generate_at(2, Insert(" world", 5), at=10.0)  # after delivery
+        session.run()
+        assert session.converged()
+        assert session.notifier.document == "hello world"
+
+    def test_delete_vs_delete_overlap_converges(self):
+        session = StarSession(n_sites=2, initial_state="abcdef")
+        session.generate_at(1, Delete(3, 1), at=1.0)
+        session.generate_at(2, Delete(3, 2), at=1.0)
+        session.run()
+        assert session.converged()
+        assert session.notifier.document == "af"
+
+    def test_generate_at_bad_site(self):
+        session = StarSession(n_sites=2)
+        with pytest.raises(IndexError):
+            session.client(3)
+        with pytest.raises(IndexError):
+            session.client(0)
+
+
+class TestRandomConvergence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_sessions_converge_with_oracle(self, seed):
+        config = RandomSessionConfig(n_sites=4, ops_per_site=8, seed=seed)
+        session = StarSession(
+            4,
+            initial_state=config.initial_document,
+            latency_factory=uniform_latencies(seed),
+            verify_with_oracle=True,
+        )
+        drive_star_session(session, config)
+        session.run()
+        assert session.quiescent()
+        assert session.converged(), session.documents()
+
+    def test_delete_heavy_workload(self):
+        config = RandomSessionConfig(
+            n_sites=3, ops_per_site=12, seed=5, insert_ratio=0.25
+        )
+        session = StarSession(
+            3,
+            initial_state=config.initial_document,
+            latency_factory=uniform_latencies(5),
+            verify_with_oracle=True,
+        )
+        drive_star_session(session, config)
+        session.run()
+        assert session.converged()
+
+    def test_hotspot_contention(self):
+        config = RandomSessionConfig(n_sites=4, ops_per_site=10, seed=2, hotspot=True)
+        session = StarSession(
+            4,
+            initial_state=config.initial_document,
+            latency_factory=uniform_latencies(2),
+            verify_with_oracle=True,
+        )
+        drive_star_session(session, config)
+        session.run()
+        assert session.converged()
+
+    def test_long_tailed_latency(self):
+        config = RandomSessionConfig(n_sites=3, ops_per_site=8, seed=9)
+        session = StarSession(
+            3,
+            initial_state=config.initial_document,
+            latency_factory=lambda s, d: JitterLatency(0.2, 1.0, random.Random(s * 5 + d)),
+            verify_with_oracle=True,
+        )
+        drive_star_session(session, config)
+        session.run()
+        assert session.converged()
+
+    def test_typing_workload(self):
+        config = TypingBurstConfig(n_sites=3, bursts_per_site=3, seed=1)
+        session = StarSession(3, verify_with_oracle=True,
+                              latency_factory=uniform_latencies(1))
+        drive_typing_session(session, config)
+        session.run()
+        assert session.converged()
+        total_typed = 3 * 3 * config.burst_length
+        assert len(session.notifier.document) == total_typed
+
+    def test_moderate_scale(self):
+        config = RandomSessionConfig(n_sites=16, ops_per_site=6, seed=3)
+        session = StarSession(16, initial_state=config.initial_document,
+                              verify_with_oracle=True)
+        drive_star_session(session, config)
+        session.run()
+        assert session.converged()
+        # timestamp bytes stay constant regardless of N
+        stats = session.wire_stats()
+        assert stats.timestamp_bytes == 8 * stats.messages
+
+
+class TestInvariants:
+    def test_fifo_respected_everywhere(self):
+        config = RandomSessionConfig(n_sites=5, ops_per_site=6, seed=11)
+        session = StarSession(5, initial_state=config.initial_document,
+                              latency_factory=uniform_latencies(11))
+        drive_star_session(session, config)
+        session.run()
+        assert session.topology.fifo_respected()
+
+    def test_notifier_storage_is_n_clients_storage_is_2(self):
+        session = StarSession(7)
+        assert session.notifier.clock_storage_ints() == 7
+        assert all(c.clock_storage_ints() == 2 for c in session.clients)
+
+    def test_message_counts(self):
+        """Each op costs 1 upload + (N-1) broadcasts."""
+        config = RandomSessionConfig(n_sites=4, ops_per_site=5, seed=0)
+        session = StarSession(4, initial_state=config.initial_document)
+        drive_star_session(session, config)
+        session.run()
+        total_ops = 4 * 5
+        assert session.wire_stats().messages == total_ops * 4  # 1 + (4-1)
+
+    def test_stale_ack_raises_consistency_error(self):
+        """A client claiming fewer acks than before trips the guard."""
+        from repro.core.timestamp import CompressedTimestamp
+        from repro.editor.star import OpMessage
+        from repro.net.transport import Envelope
+
+        session = StarSession(n_sites=2, initial_state="ab")
+        session.generate_at(1, Insert("x", 0), at=1.0)
+        session.generate_at(2, Insert("y", 0), at=5.0)
+        session.run()
+        bad = OpMessage(
+            op=Insert("z", 0),
+            timestamp=CompressedTimestamp(0, 2),  # claims 0 received, but acked 1
+            origin_site=2,
+            op_id="stale",
+        )
+        with pytest.raises(ConsistencyError):
+            session.notifier.on_message(Envelope(source=2, dest=0, payload=bad))
+
+
+class TestGarbageCollection:
+    def test_client_gc_drops_acked_entries(self):
+        config = RandomSessionConfig(n_sites=3, ops_per_site=6, seed=4)
+        session = StarSession(3, initial_state=config.initial_document)
+        drive_star_session(session, config)
+        session.run()
+        for client in session.clients:
+            # A trailing local op stays pending until a later center op
+            # acknowledges it, so GC keeps exactly the pending entries.
+            pending = len(client.pending)
+            removed = client.collect_garbage()
+            assert removed == len(client.executed_op_ids) - pending
+            assert len(client.hb) == pending
+            assert client.hb.op_ids() == [e.op_id for e in client.pending]
+
+    def test_notifier_gc_drops_fully_acked_entries(self):
+        session = StarSession(n_sites=2, initial_state="ab")
+        session.generate_at(1, Insert("x", 0), at=1.0)
+        session.run()
+        # client 2 has not sent anything, so its ack horizon is unknown;
+        # the broadcast to it is still pending and must be kept.
+        assert session.notifier.collect_garbage() == 0
+        session.generate_at(2, Insert("y", 0), at=session.sim.now + 1.0)
+        session.run()
+        # now client 2 acknowledged the first broadcast; only the second
+        # operation remains pending (for client 1's horizon).
+        removed = session.notifier.collect_garbage()
+        assert removed == 1
+
+    def test_gc_preserves_correctness(self):
+        """A session that GCs aggressively still converges."""
+        config = RandomSessionConfig(n_sites=3, ops_per_site=10, seed=8)
+        session = StarSession(3, initial_state=config.initial_document,
+                              latency_factory=uniform_latencies(8),
+                              verify_with_oracle=False)
+        drive_star_session(session, config)
+        # interleave GC with the workload
+        for t in range(2, 14, 2):
+            session.sim.schedule(float(t), session.notifier.collect_garbage)
+            for client in session.clients:
+                session.sim.schedule(float(t) + 0.1, client.collect_garbage)
+        session.run()
+        assert session.converged()

@@ -1,0 +1,114 @@
+"""Undo-as-new-operation in the star editor."""
+
+import pytest
+
+from repro.editor.star import StarSession, UndoError
+from repro.ot.component import TextOperation
+from repro.ot.operations import Delete, Insert, OperationGroup
+from repro.ot.types import CounterOp
+
+
+class TestInvertSupport:
+    def test_positional_insert_inverts_to_delete(self):
+        from repro.ot.types import PositionalTextType
+
+        ot = PositionalTextType()
+        assert ot.invert("abc", Insert("XY", 1)) == Delete(2, 1)
+
+    def test_positional_delete_inverts_to_reinsert(self):
+        from repro.ot.types import PositionalTextType
+
+        ot = PositionalTextType()
+        assert ot.invert("ABCDE", Delete(3, 2)) == Insert("CDE", 2)
+
+    def test_positional_group_inverts_reversed(self):
+        from repro.ot.types import PositionalTextType
+
+        ot = PositionalTextType()
+        group = OperationGroup((Delete(2, 1), Delete(2, 3)))
+        doc = "abcdefg"
+        inverse = ot.invert(doc, group)
+        assert inverse.apply(group.apply(doc)) == doc
+
+    def test_component_invert(self):
+        from repro.ot.types import TextComponentType
+
+        ot = TextComponentType()
+        op = TextOperation().retain(1).delete(2).insert("Z").retain(1)
+        doc = "abcd"
+        inverse = ot.invert(doc, op)
+        assert inverse.apply(op.apply(doc)) == doc
+
+
+class TestUndoLast:
+    def test_simple_undo_restores_document(self):
+        session = StarSession(2, initial_state="hello")
+        session.generate_at(1, Insert(" world", 5), at=1.0)
+        session.sim.schedule(2.0, lambda: session.client(1).undo_last())
+        session.run()
+        assert session.converged()
+        assert session.notifier.document == "hello"
+
+    def test_undo_delete_restores_text(self):
+        session = StarSession(2, initial_state="ABCDE")
+        session.generate_at(1, Delete(3, 2), at=1.0)
+        session.sim.schedule(1.5, lambda: session.client(1).undo_last())
+        session.run()
+        assert session.converged()
+        assert session.notifier.document == "ABCDE"
+
+    def test_undo_with_concurrent_remote_edit(self):
+        """The undo propagates like any edit; concurrent ops transform."""
+        session = StarSession(2, initial_state="ABCDE")
+        session.generate_at(1, Insert("12", 1), at=1.0)
+        session.sim.schedule(1.01, lambda: session.client(1).undo_last())
+        session.generate_at(2, Delete(3, 2), at=1.0)
+        session.run()
+        assert session.converged()
+        assert session.notifier.document == "AB"
+
+    def test_undo_nothing_raises(self):
+        session = StarSession(1)
+        with pytest.raises(UndoError, match="nothing to undo"):
+            session.client(1).undo_last()
+
+    def test_undo_blocked_after_remote_execution(self):
+        session = StarSession(2, initial_state="ab")
+        session.generate_at(1, Insert("x", 0), at=1.0)
+        session.generate_at(2, Insert("y", 2), at=1.0)
+        session.run()  # client 1 has now executed client 2's op remotely
+        with pytest.raises(UndoError, match="remote operation executed"):
+            session.client(1).undo_last()
+
+    def test_undo_unsupported_type_raises(self):
+        session = StarSession(1, ot_type_name="counter")
+        session.generate_at(1, CounterOp(5), at=1.0)
+        session.run()
+        with pytest.raises(UndoError, match="does not support inversion"):
+            session.client(1).undo_last()
+
+    def test_undo_of_undo_redoes(self):
+        session = StarSession(2, initial_state="x")
+        session.generate_at(1, Insert("yz", 1), at=1.0)
+        session.sim.schedule(1.1, lambda: session.client(1).undo_last())
+        session.sim.schedule(1.2, lambda: session.client(1).undo_last())
+        session.run()
+        assert session.converged()
+        assert session.notifier.document == "xyz"
+
+    def test_component_type_undo(self):
+        session = StarSession(2, ot_type_name="text-component", initial_state="abc")
+        op = TextOperation().retain(3).insert("!")
+        session.sim.schedule(1.0, lambda: session.client(1).generate(op))
+        session.sim.schedule(2.0, lambda: session.client(1).undo_last())
+        session.run()
+        assert session.converged()
+        assert session.notifier.document == "abc"
+
+    def test_undo_counts_as_ordinary_operation_in_sv(self):
+        session = StarSession(1, initial_state="q")
+        session.generate_at(1, Insert("r", 1), at=1.0)
+        session.sim.schedule(2.0, lambda: session.client(1).undo_last())
+        session.run()
+        assert session.client(1).sv.as_paper_list() == [0, 2]
+        assert session.notifier.sv.as_paper_list() == [2]

@@ -1,0 +1,72 @@
+"""Shared hypothesis strategies for the property suites."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import strategies as st
+
+from repro.ot.component import TextOperation
+from repro.ot.operations import Delete, Insert
+
+documents = st.text(alphabet=string.ascii_letters + string.digits + " ", max_size=40)
+
+_short_text = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5)
+
+
+@st.composite
+def positional_op_for(draw, doc: str):
+    """A valid positional operation on ``doc``."""
+    n = len(doc)
+    if n == 0 or draw(st.booleans()):
+        return Insert(draw(_short_text), draw(st.integers(0, n)))
+    pos = draw(st.integers(0, n - 1))
+    count = draw(st.integers(1, n - pos))
+    return Delete(count, pos)
+
+
+@st.composite
+def doc_and_op_pair(draw):
+    """A document plus two operations both defined on it."""
+    doc = draw(documents)
+    return doc, draw(positional_op_for(doc)), draw(positional_op_for(doc))
+
+
+@st.composite
+def component_op_for(draw, doc: str):
+    """A valid component operation on ``doc`` (random span structure)."""
+    op = TextOperation()
+    remaining = len(doc)
+    while remaining > 0:
+        kind = draw(st.sampled_from(["retain", "insert", "delete"]))
+        if kind == "insert":
+            op.insert(draw(_short_text))
+        else:
+            span = draw(st.integers(1, remaining))
+            if kind == "retain":
+                op.retain(span)
+            else:
+                op.delete(span)
+            remaining -= span
+    if draw(st.booleans()):
+        op.insert(draw(_short_text))
+    return op
+
+
+@st.composite
+def doc_and_component_pair(draw):
+    doc = draw(documents)
+    return doc, draw(component_op_for(doc)), draw(component_op_for(doc))
+
+
+@st.composite
+def doc_and_component_chain(draw):
+    """A document plus a chain of sequentially applicable operations."""
+    doc = draw(documents)
+    ops = []
+    current = doc
+    for _ in range(draw(st.integers(1, 4))):
+        op = draw(component_op_for(current))
+        ops.append(op)
+        current = op.apply(current)
+    return doc, ops

@@ -1,0 +1,149 @@
+"""Unit tests for the binary wire codec (repro.net.codec)."""
+
+import pytest
+
+from repro.core.timestamp import CompressedTimestamp
+from repro.editor.star import OpMessage
+from repro.net.codec import (
+    TIMESTAMP_WIRE_BYTES,
+    CodecError,
+    Reader,
+    Writer,
+    decode_op_message,
+    decode_operation,
+    decode_timestamp,
+    encode_op_message,
+    encode_operation,
+    encode_timestamp,
+)
+from repro.ot.operations import Delete, Identity, Insert, OperationGroup
+
+
+class TestPrimitives:
+    def test_u32_roundtrip(self):
+        writer = Writer()
+        writer.u32(0).u32(0xFFFFFFFF).u32(12345)
+        reader = Reader(writer.getvalue())
+        assert (reader.u32(), reader.u32(), reader.u32()) == (0, 0xFFFFFFFF, 12345)
+        assert reader.done()
+
+    def test_u32_range_check(self):
+        with pytest.raises(CodecError):
+            Writer().u32(-1)
+        with pytest.raises(CodecError):
+            Writer().u32(2**32)
+
+    def test_u8_range_check(self):
+        with pytest.raises(CodecError):
+            Writer().u8(256)
+
+    def test_string_roundtrip_unicode(self):
+        writer = Writer()
+        writer.string("héllo ✓")
+        assert Reader(writer.getvalue()).string() == "héllo ✓"
+
+    def test_truncated_read_raises(self):
+        with pytest.raises(CodecError, match="truncated"):
+            Reader(b"\x00\x01").u32()
+
+    def test_trailing_bytes_detected(self):
+        reader = Reader(b"\x00\x00\x00\x01extra")
+        reader.u32()
+        with pytest.raises(CodecError, match="trailing"):
+            reader.expect_done()
+
+
+class TestOperationCodec:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            Insert("12", 1),
+            Insert("", 0),
+            Delete(3, 2),
+            Identity(),
+            OperationGroup((Delete(2, 1), Delete(2, 3))),
+            OperationGroup((Insert("x", 0), OperationGroup((Delete(1, 5),)))),
+        ],
+    )
+    def test_roundtrip(self, op):
+        writer = Writer()
+        encode_operation(op, writer)
+        assert decode_operation(Reader(writer.getvalue())) == op
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError, match="unknown operation tag"):
+            decode_operation(Reader(b"\x7f"))
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode_operation("not an op", Writer())  # type: ignore[arg-type]
+
+
+class TestTimestampCodec:
+    def test_exactly_two_integers(self):
+        writer = Writer()
+        encode_timestamp(CompressedTimestamp(3, 1), writer)
+        assert len(writer.getvalue()) == TIMESTAMP_WIRE_BYTES == 8
+
+    def test_roundtrip(self):
+        writer = Writer()
+        encode_timestamp(CompressedTimestamp(123, 456), writer)
+        assert decode_timestamp(Reader(writer.getvalue())) == CompressedTimestamp(123, 456)
+
+
+class TestMessageCodec:
+    def test_full_message_roundtrip(self):
+        message = OpMessage(
+            op=Insert("12", 1),
+            timestamp=CompressedTimestamp(1, 0),
+            origin_site=2,
+            op_id="O2'",
+            source_op_id="O2",
+        )
+        assert decode_op_message(encode_op_message(message)) == message
+
+    def test_message_without_source_id(self):
+        message = OpMessage(
+            op=Delete(3, 2),
+            timestamp=CompressedTimestamp(0, 1),
+            origin_site=2,
+            op_id="O2",
+        )
+        decoded = decode_op_message(encode_op_message(message))
+        assert decoded == message
+        assert decoded.source_op_id is None
+
+    def test_size_matches_accounting_model(self):
+        """The real encoding charges what measure_payload_bytes predicts
+        for the operation, plus the fixed framing fields."""
+        from repro.net.transport import measure_payload_bytes
+
+        message = OpMessage(
+            op=Insert("hello", 7),
+            timestamp=CompressedTimestamp(4, 2),
+            origin_site=1,
+            op_id="x",
+        )
+        wire = encode_op_message(message)
+        op_bytes = measure_payload_bytes(message.op)  # tag + pos + text
+        framing = (
+            TIMESTAMP_WIRE_BYTES  # compressed timestamp
+            + 4  # origin site
+            + (4 + 1)  # op_id "x"
+            + (4 + 0)  # empty source_op_id
+            + 4  # string length prefix of the insert text
+        )
+        assert len(wire) == op_bytes + framing
+
+    def test_corrupted_message_rejected(self):
+        message = OpMessage(
+            op=Insert("a", 0),
+            timestamp=CompressedTimestamp(0, 1),
+            origin_site=1,
+            op_id="q",
+        )
+        wire = encode_op_message(message)
+        with pytest.raises(CodecError):
+            decode_op_message(wire[:-1])
+        with pytest.raises(CodecError):
+            decode_op_message(wire + b"\x00")

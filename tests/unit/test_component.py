@@ -1,0 +1,177 @@
+"""Unit tests for component text operations (repro.ot.component)."""
+
+import pytest
+
+from repro.ot.component import ComponentError, TextOperation
+from repro.ot.operations import Delete, Identity, Insert, OperationGroup
+
+
+def op(*steps):
+    """Build a TextOperation from (kind, value) shorthand."""
+    out = TextOperation()
+    for step in steps:
+        if isinstance(step, str):
+            out.insert(step)
+        elif step > 0:
+            out.retain(step)
+        else:
+            out.delete(-step)
+    return out
+
+
+class TestBuilders:
+    def test_lengths_tracked(self):
+        o = op(2, "xy", -1, 3)
+        assert o.base_length == 6
+        assert o.target_length == 7
+
+    def test_adjacent_retains_merge(self):
+        o = TextOperation().retain(2).retain(3)
+        assert o.components == [5]
+
+    def test_adjacent_inserts_merge(self):
+        o = TextOperation().insert("ab").insert("cd")
+        assert o.components == ["abcd"]
+
+    def test_adjacent_deletes_merge(self):
+        o = TextOperation().delete(2).delete(1)
+        assert o.components == [-3]
+
+    def test_insert_after_delete_canonicalised(self):
+        # delete-then-insert normalises to insert-then-delete
+        o = TextOperation().delete(2).insert("x")
+        assert o.components == ["x", -2]
+
+    def test_zero_components_dropped(self):
+        o = TextOperation().retain(0).insert("").delete(0)
+        assert o.components == []
+
+    def test_negative_retain_rejected(self):
+        with pytest.raises(ComponentError):
+            TextOperation().retain(-1)
+
+    def test_negative_delete_rejected(self):
+        with pytest.raises(ComponentError):
+            TextOperation().delete(-1)
+
+
+class TestApply:
+    def test_pure_retain_is_noop(self):
+        assert TextOperation.noop(3).apply("abc") == "abc"
+
+    def test_insert_middle(self):
+        assert op(1, "XY", 2).apply("abc") == "aXYbc"
+
+    def test_delete_middle(self):
+        assert op(1, -1, 1).apply("abc") == "ac"
+
+    def test_replace(self):
+        assert op(1, "Z", -1, 1).apply("abc") == "aZc"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ComponentError):
+            op(2).apply("abc")
+
+    def test_is_noop(self):
+        assert TextOperation.noop(5).is_noop()
+        assert not op(1, "x", 4).is_noop()
+
+    def test_char_counters(self):
+        o = op(1, "xy", -3, 2)
+        assert o.inserted_chars() == 2
+        assert o.deleted_chars() == 3
+
+
+class TestInvert:
+    def test_invert_roundtrip(self):
+        doc = "hello world"
+        o = op(5, -1, "_", 5)
+        done = o.apply(doc)
+        assert o.invert(doc).apply(done) == doc
+
+    def test_invert_insert_is_delete(self):
+        doc = "abc"
+        o = op(1, "ZZ", 2)
+        inv = o.invert(doc)
+        assert inv.apply(o.apply(doc)) == doc
+
+
+class TestCompose:
+    def test_compose_applies_sequentially(self):
+        doc = "abcdef"
+        a = op(2, "X", 4)
+        b = op(1, -2, 4)
+        composed = a.compose(b)
+        assert composed.apply(doc) == b.apply(a.apply(doc))
+
+    def test_compose_length_mismatch_raises(self):
+        with pytest.raises(ComponentError):
+            op(3).compose(op(5))
+
+    def test_insert_then_delete_annihilates(self):
+        a = op("xyz")
+        b = op(-3)
+        assert a.compose(b).apply("") == ""
+
+    def test_compose_chain(self):
+        doc = "0123456789"
+        ops = [op(10, "a"), op(3, -4, 4), op(1, "Q", 6)]
+        composed = ops[0]
+        expected = ops[0].apply(doc)
+        for o in ops[1:]:
+            composed = composed.compose(o)
+            expected = o.apply(expected)
+        assert composed.apply(doc) == expected
+
+
+class TestTransform:
+    def test_tp1_simple(self):
+        doc = "abcdef"
+        a = op(2, "X", 4)
+        b = op(4, -1, 1)
+        a2, b2 = a.transform(b)
+        assert b2.apply(a.apply(doc)) == a2.apply(b.apply(doc))
+
+    def test_insert_tie_priority(self):
+        doc = "ab"
+        a = op(1, "X", 1)
+        b = op(1, "Y", 1)
+        a2, b2 = a.transform(b, self_priority=True)
+        assert b2.apply(a.apply(doc)) == "aXYb"
+        a3, b3 = a.transform(b, self_priority=False)
+        assert b3.apply(a.apply(doc)) == "aYXb"
+
+    def test_both_delete_same_span(self):
+        doc = "abcdef"
+        a = op(1, -3, 2)
+        b = op(2, -3, 1)
+        a2, b2 = a.transform(b)
+        assert b2.apply(a.apply(doc)) == a2.apply(b.apply(doc)) == "af"
+
+    def test_base_length_mismatch_raises(self):
+        with pytest.raises(ComponentError):
+            op(3).transform(op(4))
+
+
+class TestConversions:
+    def test_from_positional_insert(self):
+        o = TextOperation.from_positional(Insert("12", 1), 5)
+        assert o.apply("ABCDE") == "A12BCDE"
+
+    def test_from_positional_delete(self):
+        o = TextOperation.from_positional(Delete(3, 2), 5)
+        assert o.apply("ABCDE") == "AB"
+
+    def test_from_positional_group(self):
+        group = OperationGroup((Delete(2, 1), Delete(2, 3)))
+        o = TextOperation.from_positional(group, 7)
+        assert o.apply("abcdefg") == group.apply("abcdefg")
+
+    def test_to_positional_roundtrip(self):
+        doc = "abcdefgh"
+        o = op(2, "XY", -3, 3)
+        positional = o.to_positional()
+        assert positional.apply(doc) == o.apply(doc)
+
+    def test_to_positional_identity(self):
+        assert TextOperation.noop(4).to_positional() == Identity()

@@ -1,0 +1,140 @@
+"""Unit tests for the concurrency formulas (repro.core.concurrency).
+
+Every concrete check in the paper's Section 5 walkthrough appears here
+as a direct formula-level test (the integration suite re-derives them by
+running the actual system).
+"""
+
+import pytest
+
+from repro.core.concurrency import (
+    client_concurrent,
+    client_concurrent_general,
+    notifier_concurrent,
+    notifier_concurrent_general,
+    vc_event_concurrent,
+)
+from repro.core.timestamp import CompressedTimestamp, FullTimestamp, OriginKind
+from repro.clocks.vector import VectorClock
+
+
+def ct(a, b):
+    return CompressedTimestamp(a, b)
+
+
+class TestFormula3:
+    def test_concurrent_events(self):
+        ta = VectorClock.of([1, 0])  # op at site 0
+        tb = VectorClock.of([0, 1])  # op at site 1
+        assert vc_event_concurrent(ta, tb, 0, 1)
+
+    def test_causally_ordered_events(self):
+        ta = VectorClock.of([1, 0])
+        tb = VectorClock.of([1, 1])  # saw ta
+        assert not vc_event_concurrent(ta, tb, 0, 1)
+        assert not vc_event_concurrent(tb, ta, 1, 0)
+
+
+class TestFormula5ClientSide:
+    """Paper Section 5, client-side verdicts."""
+
+    def test_O2prime_vs_O1_at_site1(self):
+        # T_O1[2]=1 > T_O2'[2]=0 -> concurrent
+        assert client_concurrent(ct(1, 0), ct(0, 1), OriginKind.LOCAL)
+
+    def test_O1prime_vs_O2_at_site2(self):
+        # T_O2[2]=1 = T_O1'[2]=1 -> not concurrent
+        assert not client_concurrent(ct(1, 1), ct(0, 1), OriginKind.LOCAL)
+
+    def test_O1prime_vs_O2prime_at_site3(self):
+        # buffered center op: T_O2'[1]=1 > T_O1'[1]=2 is false
+        assert not client_concurrent(ct(2, 0), ct(1, 0), OriginKind.FROM_CENTER)
+
+    def test_O1prime_vs_O4_at_site3(self):
+        assert client_concurrent(ct(2, 0), ct(1, 1), OriginKind.LOCAL)
+
+    def test_O4prime_vs_O3_at_site2(self):
+        # T_O3[2]=2 > T_O4'[2]=1 -> concurrent
+        assert client_concurrent(ct(2, 1), ct(1, 2), OriginKind.LOCAL)
+
+    def test_O3prime_vs_all_at_site1(self):
+        ts = ct(3, 1)
+        assert not client_concurrent(ts, ct(0, 1), OriginKind.LOCAL)  # O1
+        assert not client_concurrent(ts, ct(1, 0), OriginKind.FROM_CENTER)  # O2'
+        assert not client_concurrent(ts, ct(2, 1), OriginKind.FROM_CENTER)  # O4'
+
+    def test_rejects_notifier_origin(self):
+        with pytest.raises(ValueError):
+            client_concurrent(ct(0, 0), ct(0, 0), OriginKind.FROM_CLIENT)
+
+    def test_general_form_adds_first_condition(self):
+        # general formula (4) also requires T_Oa[1] > T_Ob[1]
+        assert client_concurrent_general(ct(1, 0), ct(0, 1), OriginKind.LOCAL)
+        assert not client_concurrent_general(ct(0, 0), ct(0, 1), OriginKind.LOCAL)
+
+    def test_general_and_simplified_agree_under_fifo(self):
+        """When the buffered op executed before the new op arrived (so
+        T_new[1] > T_buf[1] for local entries), (4) == (5)."""
+        for new_first in range(1, 5):
+            for buf_second in range(0, 5):
+                t_new = ct(new_first, 1)
+                t_buf = ct(0, buf_second)
+                assert client_concurrent_general(
+                    t_new, t_buf, OriginKind.LOCAL
+                ) == client_concurrent(t_new, t_buf, OriginKind.LOCAL)
+
+
+class TestFormula7NotifierSide:
+    """Paper Section 5, notifier-side verdicts."""
+
+    def test_O1_vs_O2prime(self):
+        # x=1, y=2; sum_{j!=1} [0,1,0] = 1 > T_O1[1]=0 -> concurrent
+        assert notifier_concurrent(ct(0, 1), 1, FullTimestamp((0, 1, 0)), 2)
+
+    def test_O4_vs_O2prime(self):
+        # x=3; sum_{j!=3} [0,1,0] = 1 = T_O4[1]=1 -> not concurrent
+        assert not notifier_concurrent(ct(1, 1), 3, FullTimestamp((0, 1, 0)), 2)
+
+    def test_O4_vs_O1prime(self):
+        # sum_{j!=3} [1,1,0] = 2 > 1 -> concurrent
+        assert notifier_concurrent(ct(1, 1), 3, FullTimestamp((1, 1, 0)), 1)
+
+    def test_O3_vs_O2prime_same_site(self):
+        # same origin site 2 -> never concurrent
+        assert not notifier_concurrent(ct(1, 2), 2, FullTimestamp((0, 1, 0)), 2)
+
+    def test_O3_vs_O1prime(self):
+        # sum_{j!=2} [1,1,0] = 1 = T_O3[1]=1 -> not concurrent
+        assert not notifier_concurrent(ct(1, 2), 2, FullTimestamp((1, 1, 0)), 1)
+
+    def test_O3_vs_O4prime(self):
+        # sum_{j!=2} [1,1,1] = 2 > 1 -> concurrent
+        assert notifier_concurrent(ct(1, 2), 2, FullTimestamp((1, 1, 1)), 3)
+
+    def test_general_form_first_condition(self):
+        # formula (6) additionally requires T_Oa[2] > T_Ob[x]
+        t_buf = FullTimestamp((0, 1, 0))
+        assert notifier_concurrent_general(ct(0, 1), 1, t_buf, 2)
+        # an O_a the notifier has already counted cannot be concurrent
+        assert not notifier_concurrent_general(ct(0, 0), 1, t_buf, 2)
+
+    def test_general_same_site_branch(self):
+        # x == y: concurrent iff T_Ob[y] > T_Oa[2] (and first condition);
+        # impossible under FIFO but the general form must evaluate it.
+        t_buf = FullTimestamp((0, 2, 0))
+        assert notifier_concurrent_general(ct(0, 3), 2, FullTimestamp((0, 4, 0)), 2) is False
+        assert not notifier_concurrent(ct(0, 3), 2, t_buf, 2)
+
+    def test_general_and_simplified_agree_under_fifo(self):
+        """With the FIFO-guaranteed preconditions (T_Oa[2] > T_Ob[x] and
+        x != y), (6) == (7)."""
+        for buf in [(0, 1, 0), (1, 1, 0), (1, 1, 1), (1, 2, 1)]:
+            t_buf = FullTimestamp(buf)
+            for x in (1, 2, 3):
+                for y in (1, 2, 3):
+                    if x == y:
+                        continue
+                    t_new = ct(1, t_buf[x] + 1)  # first condition holds
+                    assert notifier_concurrent_general(
+                        t_new, x, t_buf, y
+                    ) == notifier_concurrent(t_new, x, t_buf, y)

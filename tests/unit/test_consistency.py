@@ -1,0 +1,60 @@
+"""Unit tests for divergence / intention checkers (repro.analysis.consistency)."""
+
+import pytest
+
+from repro.analysis.consistency import (
+    check_divergence,
+    intention_preserved_pair,
+)
+from repro.ot.operations import Delete, Insert
+
+
+class TestDivergence:
+    def test_all_equal_converged(self):
+        report = check_divergence(["abc", "abc", "abc"])
+        assert not report.diverged
+        assert report.distinct_states == ("abc",)
+        assert "CONVERGED" in report.summary()
+
+    def test_detects_divergence(self):
+        report = check_divergence(["abc", "abd", "abc", "xyz"])
+        assert report.diverged
+        assert report.distinct_states == ("abc", "abd", "xyz")
+        assert "3 distinct" in report.summary()
+
+    def test_single_site(self):
+        assert not check_divergence(["only"]).diverged
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_divergence([])
+
+    def test_works_on_unhashable_states(self):
+        report = check_divergence([["a"], ["a"], ["b"]])
+        assert report.diverged
+
+
+class TestIntentionCheck:
+    def test_paper_section_2_2_example(self):
+        """O_1 = Insert["12",1], O_2 = Delete[3,2] on "ABCDE": preserved
+        result "A12B"; naive site-1 execution gives "A1DE"."""
+        check = intention_preserved_pair("ABCDE", Insert("12", 1), Delete(3, 2))
+        assert check.preserved_result == "A12B"
+        assert check.naive_results[0] == "A1DE"
+        assert check.naive_violates
+
+    def test_one_naive_order_can_be_correct(self):
+        # Executing the lower-position op second leaves it unaffected:
+        # Delete[1,5] then Insert["X",0] happens to match the intention,
+        # but the other order does not -- still a violation overall.
+        check = intention_preserved_pair("abcdef", Delete(1, 5), Insert("X", 0))
+        assert check.preserved_result == "Xabcde"
+        assert check.naive_results[0] == check.preserved_result
+        assert check.naive_results[1] == "Xabcdf"
+        assert check.naive_violates
+
+    def test_inapplicable_naive_order_reported(self):
+        # b deletes beyond what remains after a in one naive order
+        check = intention_preserved_pair("abc", Delete(3, 0), Delete(2, 1))
+        assert check.preserved_result == ""
+        assert "<inapplicable>" in check.naive_results

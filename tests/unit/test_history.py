@@ -1,0 +1,57 @@
+"""Unit tests for the history buffer (repro.core.history)."""
+
+from repro.core.history import HistoryBuffer, HistoryEntry
+from repro.core.timestamp import CompressedTimestamp, OriginKind
+from repro.ot.operations import Insert
+
+
+def entry(op_id, second, kind=OriginKind.LOCAL):
+    return HistoryEntry(
+        op=Insert("x", 0),
+        timestamp=CompressedTimestamp(0, second),
+        origin_site=1,
+        origin_kind=kind,
+        op_id=op_id,
+    )
+
+
+class TestHistoryBuffer:
+    def test_append_preserves_order(self):
+        hb = HistoryBuffer()
+        hb.append(entry("a", 1))
+        hb.append(entry("b", 2))
+        assert hb.op_ids() == ["a", "b"]
+        assert len(hb) == 2
+        assert hb[0].op_id == "a"
+
+    def test_iteration(self):
+        hb = HistoryBuffer()
+        hb.append(entry("a", 1))
+        assert [e.op_id for e in hb] == ["a"]
+
+    def test_concurrent_entries_filters_in_order(self):
+        hb = HistoryBuffer()
+        hb.append(entry("a", 1))
+        hb.append(entry("b", 2))
+        hb.append(entry("c", 3))
+        picked = hb.concurrent_entries(lambda e: e.timestamp.second >= 2)
+        assert [e.op_id for e in picked] == ["b", "c"]
+
+    def test_garbage_collect(self):
+        hb = HistoryBuffer()
+        for i in range(5):
+            hb.append(entry(f"op{i}", i))
+        removed = hb.garbage_collect(lambda e: e.timestamp.second >= 3)
+        assert removed == 3
+        assert hb.op_ids() == ["op3", "op4"]
+
+    def test_clear(self):
+        hb = HistoryBuffer()
+        hb.append(entry("a", 1))
+        hb.clear()
+        assert len(hb) == 0
+
+    def test_entry_op_is_mutable_for_retransformation(self):
+        e = entry("a", 1)
+        e.op = Insert("y", 3)
+        assert e.op == Insert("y", 3)

@@ -1,0 +1,133 @@
+"""Unit tests for matrix clocks and the dimension-bound demonstration."""
+
+import pytest
+
+from repro.clocks.dimension import (
+    crown_execution,
+    min_faithful_projection_size,
+    projection_is_faithful,
+)
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.vector import VectorClock
+
+
+class TestMatrixClock:
+    def test_initially_zero(self):
+        mc = MatrixClock(0, 3)
+        assert mc.vector() == VectorClock.zero(3)
+        assert mc.stable_vector() == VectorClock.zero(3)
+
+    def test_pid_validation(self):
+        with pytest.raises(ValueError):
+            MatrixClock(3, 3)
+
+    def test_own_row_is_vector_clock(self):
+        a, b = MatrixClock(0, 2), MatrixClock(1, 2)
+        ts = a.prepare_send()
+        b.receive(0, ts)
+        assert a.vector() == VectorClock.of([1, 0])
+        assert b.vector() == VectorClock.of([1, 1])
+
+    def test_embedded_vector_matches_plain_protocol(self):
+        import random
+
+        rng = random.Random(5)
+        n = 4
+        mats = [MatrixClock(pid, n) for pid in range(n)]
+        plain = [VectorClock.zero(n) for _ in range(n)]
+        for _ in range(200):
+            sender = rng.randrange(n)
+            dest = rng.randrange(n)
+            while dest == sender:
+                dest = rng.randrange(n)
+            ts = mats[sender].prepare_send()
+            plain[sender] = plain[sender].tick(sender)
+            mats[dest].receive(sender, ts)
+            plain[dest] = plain[dest].merge(plain[sender]).tick(dest)
+            assert mats[dest].vector() == plain[dest]
+
+    def test_stability_tracks_universal_knowledge(self):
+        """After a full all-to-all exchange, early events become stable."""
+        n = 3
+        mats = [MatrixClock(pid, n) for pid in range(n)]
+        # round 1: everyone broadcasts one event
+        stamps = [m.prepare_send() for m in mats]
+        for receiver in range(n):
+            for sender in range(n):
+                if sender != receiver:
+                    mats[receiver].receive(sender, stamps[sender])
+        # nobody knows yet that OTHERS know: first events not stable anywhere
+        assert all(m.known_by_all(0) == 0 for m in mats)
+        # round 2: broadcast again, spreading the knowledge
+        stamps = [m.prepare_send() for m in mats]
+        for receiver in range(n):
+            for sender in range(n):
+                if sender != receiver:
+                    mats[receiver].receive(sender, stamps[sender])
+        # now every process knows every process saw the first events
+        for m in mats:
+            assert m.known_by_all(0) >= 1
+            assert m.stable_vector().dominates(VectorClock.of([1, 1, 1]))
+
+    def test_receive_validation(self):
+        mc = MatrixClock(0, 2)
+        with pytest.raises(ValueError):
+            mc.receive(0, [[0]])
+        with pytest.raises(ValueError):
+            mc.receive(5, [[0, 0], [0, 0]])
+
+    def test_storage_and_wire_size(self):
+        assert MatrixClock(0, 8).storage_ints() == 64
+        assert MatrixClock.timestamp_bytes(8) == 256
+
+
+class TestDimensionBound:
+    def test_crown_shape(self):
+        clocks, sites = crown_execution(3)
+        assert set(clocks) == {"s0", "s1", "s2", "r0", "r1", "r2"}
+        # sends pairwise concurrent, receives dominate all other sends
+        from repro.clocks.vector import concurrent
+
+        assert concurrent(clocks["s0"], clocks["s1"])
+        assert clocks["r0"].dominates(clocks["s1"])
+        assert clocks["r0"].dominates(clocks["s2"])
+        assert sites["r2"] == 2
+
+    def test_crown_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            crown_execution(1)
+
+    def test_full_projection_always_faithful(self):
+        clocks, _ = crown_execution(4)
+        assert projection_is_faithful(clocks, (0, 1, 2, 3))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_crown_needs_all_n_coordinates(self, n):
+        """Charron-Bost: no strict subset of coordinates decides the
+        crown's causality -- the lower bound the paper cites."""
+        clocks, _ = crown_execution(n)
+        assert min_faithful_projection_size(clocks) == n
+
+    def test_dropping_any_coordinate_breaks_the_crown(self):
+        clocks, _ = crown_execution(4)
+        for dropped in range(4):
+            coords = tuple(c for c in range(4) if c != dropped)
+            assert not projection_is_faithful(clocks, coords)
+
+    def test_star_session_is_two_dimensional(self):
+        """The paper's escape: after redefinition at the notifier, the
+        events a CLIENT compares live in a 2-D structure.  Model site
+        i's view: one stream from the notifier, one local stream --
+        the crown structure never arises, and 2 coordinates suffice."""
+        # events: c1..c3 local ops at site 1 (coord 1); n1..n3 notifier
+        # stream ops (coord 0); interleaved knowledge
+        clocks = {
+            "n1": VectorClock.of([1, 0]),
+            "n2": VectorClock.of([2, 1]),  # notifier had seen c1
+            "n3": VectorClock.of([3, 2]),
+            "c1": VectorClock.of([0, 1]),
+            "c2": VectorClock.of([1, 2]),  # client had seen n1
+            "c3": VectorClock.of([3, 3]),
+        }
+        assert projection_is_faithful(clocks, (0, 1))
+        assert min_faithful_projection_size(clocks) == 2

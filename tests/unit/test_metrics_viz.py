@@ -1,0 +1,97 @@
+"""Unit tests for metrics accounting and the ASCII figure renderers."""
+
+import pytest
+
+from repro.metrics.accounting import (
+    compressed_timestamp_bytes,
+    full_vector_timestamp_bytes,
+    lamport_timestamp_bytes,
+    memory_comparison,
+    overhead_sweep,
+    sk_expected_timestamp_bytes,
+)
+from repro.viz.spacetime import DiagramEvent, render_spacetime, render_star_topology
+
+
+class TestAccounting:
+    def test_full_vector_linear_in_n(self):
+        assert full_vector_timestamp_bytes(1) == 4
+        assert full_vector_timestamp_bytes(256) == 1024
+        with pytest.raises(ValueError):
+            full_vector_timestamp_bytes(0)
+
+    def test_compressed_is_constant(self):
+        assert compressed_timestamp_bytes() == 8
+
+    def test_lamport_is_single_int(self):
+        assert lamport_timestamp_bytes() == 4
+
+    def test_sk_bounded_by_full_vector(self):
+        for n in (4, 16, 64):
+            measured = sk_expected_timestamp_bytes(n, locality=0.0, messages=400)
+            assert 0 < measured <= 2 * full_vector_timestamp_bytes(n)
+
+    def test_sk_locality_helps(self):
+        local = sk_expected_timestamp_bytes(32, locality=0.95, messages=800)
+        uniform = sk_expected_timestamp_bytes(32, locality=0.0, messages=800)
+        assert local < uniform
+
+    def test_sk_validation(self):
+        with pytest.raises(ValueError):
+            sk_expected_timestamp_bytes(1, 0.5)
+        with pytest.raises(ValueError):
+            sk_expected_timestamp_bytes(4, 1.5)
+
+    def test_sk_deterministic_under_seed(self):
+        a = sk_expected_timestamp_bytes(8, 0.5, seed=3, messages=200)
+        b = sk_expected_timestamp_bytes(8, 0.5, seed=3, messages=200)
+        assert a == b
+
+    def test_overhead_sweep_rows(self):
+        rows = overhead_sweep([2, 8], messages=100)
+        assert [r.n for r in rows] == [2, 8]
+        for row in rows:
+            assert row.compressed == 8
+            assert row.full_vector == 4 * row.n
+            assert "|" in row.as_row()
+
+    def test_memory_comparison(self):
+        rows = memory_comparison([4, 100])
+        for row in rows:
+            assert row.compressed_client == 2
+            assert row.sk_per_process == 3 * row.n
+            assert row.compressed_notifier == row.n
+            assert "|" in row.as_row()
+
+
+class TestViz:
+    def test_star_topology_mentions_all_parts(self):
+        art = render_star_topology(3)
+        assert "notifier" in art
+        assert "[site 1]" in art and "[site 3]" in art
+        assert "3 REDUCE applets" in art
+
+    def test_star_topology_truncates_large_n(self):
+        art = render_star_topology(50)
+        assert "and 42 more" in art
+
+    def test_star_topology_rejects_zero(self):
+        with pytest.raises(ValueError):
+            render_star_topology(0)
+
+    def test_spacetime_rows_sorted_by_time(self):
+        events = [
+            DiagramEvent(2.0, 1, "exec O2'"),
+            DiagramEvent(1.0, 2, "gen O2"),
+        ]
+        art = render_spacetime(3, events)
+        lines = art.splitlines()
+        assert "gen O2" in lines[2]
+        assert "exec O2'" in lines[3]
+        assert "t=1" in lines[2]
+
+    def test_spacetime_rejects_bad_site(self):
+        with pytest.raises(ValueError):
+            render_spacetime(2, [DiagramEvent(1.0, 5, "x")])
+        with pytest.raises(ValueError):
+            render_spacetime(0, [])
