@@ -1,0 +1,108 @@
+"""CLAIM-FT: convergence survives a faulty network, oracle-verified.
+
+The paper assumes reliable FIFO TCP channels; this experiment shows the
+reproduction's reliability layer (sequence numbers, retransmission,
+dedup, snapshot resync -- see DESIGN.md) re-establishes that assumption
+over a network that drops up to 20% of messages, duplicates 5% and
+crashes a client mid-session.  Every run keeps the full-vector-clock
+oracle inline: a single wrong compressed concurrency verdict anywhere
+would abort the run, so the table below doubles as evidence that
+formulas (5) and (7) stay exact once the FIFO stream is reconstructed.
+
+Shape assertions: all loss rates converge with a clean oracle; the
+retransmission work grows with the loss rate; the zero-loss row does no
+recovery work at all.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.editor.star import StarSession
+from repro.net.channel import UniformLatency
+from repro.net.faults import ChannelFaults, ClientCrash, FaultPlan
+from repro.workloads.random_session import RandomSessionConfig, drive_star_session
+
+N_SITES = 4
+OPS_PER_SITE = 8
+DROP_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+def latencies(seed):
+    def factory(src, dst):
+        return UniformLatency(0.02, 0.2, random.Random(seed * 13 + src * 5 + dst))
+
+    return factory
+
+
+def run_faulty(drop_p, dup_p=0.05, crash=True, seed=7):
+    crashes = (ClientCrash(site=2, at=3.0, restart_at=5.0),) if crash else ()
+    plan = FaultPlan(
+        seed=seed,
+        default=ChannelFaults(drop_p=drop_p, dup_p=dup_p),
+        crashes=crashes,
+    )
+    session = StarSession(
+        N_SITES,
+        latency_factory=latencies(seed),
+        verify_with_oracle=True,  # every verdict checked against full VCs
+        fault_plan=plan,
+    )
+    config = RandomSessionConfig(n_sites=N_SITES, ops_per_site=OPS_PER_SITE, seed=3)
+    drive_star_session(session, config)
+    session.run()
+    assert session.converged(), session.documents()
+    assert session.topology.fifo_respected()
+    assert session.reliable_delivery_in_order()
+    return session
+
+
+def test_recovery_at_twenty_percent_loss(benchmark):
+    session = benchmark.pedantic(
+        lambda: run_faulty(0.2), rounds=1, iterations=1
+    )
+    report = session.fault_report()
+    assert report.lost > 0
+    assert report.retransmits > 0
+    assert report.duplicates_discarded > 0
+    assert report.recoveries >= 2  # client restart + notifier-served resync
+
+
+def test_loss_rate_sweep_table(benchmark):
+    def sweep():
+        return [(drop, run_faulty(drop).fault_report()) for drop in DROP_RATES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "drop_p | lost | dup'd | retransmits | dedup | held | recoveries | converged",
+    ]
+    for drop, report in rows:
+        lines.append(
+            f"{drop:>6.2f} | {report.lost:>4} | {report.duplicated:>5} | "
+            f"{report.retransmits:>11} | {report.duplicates_discarded:>5} | "
+            f"{report.out_of_order_held:>4} | {report.recoveries:>10} | yes+oracle"
+        )
+    emit(
+        "CLAIM-FT: star session under loss/duplication/crash (oracle inline)",
+        "\n".join(lines),
+    )
+
+    reports = dict(rows)
+    # recovery work scales with hostility: the 20% row retransmits more
+    # than the 5% row, and losses really occurred at every nonzero rate
+    for drop in DROP_RATES[1:]:
+        assert reports[drop].lost > 0
+        assert reports[drop].retransmits > 0
+    assert reports[0.2].retransmits > reports[0.05].retransmits
+    assert reports[0.2].lost > reports[0.05].lost
+
+
+def test_zero_fault_plan_does_no_recovery_work(benchmark):
+    session = benchmark.pedantic(
+        lambda: run_faulty(0.0, dup_p=0.0, crash=False), rounds=1, iterations=1
+    )
+    report = session.fault_report()
+    assert report.lost == 0
+    assert report.retransmits == 0
+    assert report.duplicates_discarded == 0
+    assert report.recoveries == 0

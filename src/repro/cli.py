@@ -107,6 +107,45 @@ def cmd_memory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash(spec: str):
+    """Parse a ``site:at:restart_at`` crash specification."""
+    from repro.net.faults import ClientCrash
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"crash spec must be site:at:restart_at, got {spec!r}"
+        )
+    try:
+        return ClientCrash(site=int(parts[0]), at=float(parts[1]), restart_at=float(parts[2]))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _parse_outage(spec: str):
+    """Parse a ``start:end`` outage window."""
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(f"outage spec must be start:end, got {spec!r}")
+    return (float(parts[0]), float(parts[1]))
+
+
+def _build_fault_plan(args: argparse.Namespace):
+    from repro.net.faults import ChannelFaults, FaultPlan
+
+    if not (args.faults or args.drop or args.dup or args.crash or args.outage):
+        return None
+    return FaultPlan(
+        seed=args.seed,
+        default=ChannelFaults(
+            drop_p=args.drop,
+            dup_p=args.dup,
+            outages=tuple(args.outage or ()),
+        ),
+        crashes=tuple(args.crash or ()),
+    )
+
+
 def cmd_session(args: argparse.Namespace) -> int:
     config = RandomSessionConfig(
         n_sites=args.sites,
@@ -118,15 +157,28 @@ def cmd_session(args: argparse.Namespace) -> int:
     def latency_factory(src: int, dst: int):
         return JitterLatency(0.08, 0.6, random.Random(args.seed * 97 + src * 11 + dst))
 
+    try:
+        fault_plan = _build_fault_plan(args)
+    except ValueError as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 2
     if args.arch == "star":
-        session = StarSession(
-            args.sites,
-            initial_state=config.initial_document,
-            latency_factory=latency_factory,
-            verify_with_oracle=args.verify,
-        )
+        try:
+            session = StarSession(
+                args.sites,
+                initial_state=config.initial_document,
+                latency_factory=latency_factory,
+                verify_with_oracle=args.verify,
+                fault_plan=fault_plan,
+            )
+        except (ValueError, IndexError) as exc:
+            print(f"invalid fault plan: {exc}", file=sys.stderr)
+            return 2
         drive_star_session(session, config)
     else:
+        if fault_plan is not None:
+            print("fault injection is only supported for --arch star", file=sys.stderr)
+            return 2
         session = MeshSession(
             args.sites,
             initial_document=config.initial_document,
@@ -147,6 +199,10 @@ def cmd_session(args: argparse.Namespace) -> int:
         f"({stats.timestamp_bytes / max(stats.messages, 1):.1f}/message)"
     )
     print(f"total wire bytes : {stats.total_bytes}")
+    if fault_plan is not None:
+        print(f"fifo respected   : {session.topology.fifo_respected()}")
+        print(f"in-order release : {session.reliable_delivery_in_order()}")
+        print(session.fault_report().summary())
     return 0 if converged else 1
 
 
@@ -188,6 +244,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="verify every concurrency verdict against full vector clocks",
+    )
+    p_sess.add_argument(
+        "--faults",
+        action="store_true",
+        help="run under a fault plan (enables the reliability protocol; "
+        "combine with --drop/--dup/--crash/--outage)",
+    )
+    p_sess.add_argument(
+        "--drop", type=float, default=0.0, help="per-message drop probability"
+    )
+    p_sess.add_argument(
+        "--dup", type=float, default=0.0, help="per-message duplication probability"
+    )
+    p_sess.add_argument(
+        "--crash",
+        type=_parse_crash,
+        action="append",
+        metavar="SITE:AT:RESTART_AT",
+        help="crash a client at AT, restart at RESTART_AT (repeatable)",
+    )
+    p_sess.add_argument(
+        "--outage",
+        type=_parse_outage,
+        action="append",
+        metavar="START:END",
+        help="burst outage window on every channel (repeatable)",
     )
     p_sess.set_defaults(func=cmd_session)
     return parser

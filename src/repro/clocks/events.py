@@ -105,6 +105,25 @@ class EventLog:
         """The vector clock at ``op_id``'s generation event."""
         return self._generation_clock[op_id]
 
+    def site_clock(self, site: int) -> VectorClock:
+        """The site's current clock (its latest event, or zero)."""
+        if not 0 <= site < self.n_sites:
+            raise ValueError(f"site {site} out of range for n_sites={self.n_sites}")
+        return self._site_clock[site]
+
+    def absorb_snapshot(self, site: int, clock: VectorClock) -> None:
+        """Merge a state-transfer's causal clock into ``site``'s clock.
+
+        A snapshot (late join or crash recovery, see
+        :class:`repro.editor.star.SnapshotMessage`) delivers the sender's
+        entire causal history in bulk; merging the clock captured at
+        snapshot time keeps this reference vector-clock run -- and hence
+        the concurrency oracle -- exact across the transfer.
+        """
+        if not 0 <= site < self.n_sites:
+            raise ValueError(f"site {site} out of range for n_sites={self.n_sites}")
+        self._site_clock[site] = self._site_clock[site].merge(clock)
+
     def op_ids(self) -> list[Hashable]:
         """All generated operation ids in generation order."""
         order: list[Hashable] = []

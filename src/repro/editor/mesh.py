@@ -29,8 +29,8 @@ CPU, and notes this honestly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.clocks.vector import Ordering, VectorClock, compare
 from repro.net.channel import LatencyModel

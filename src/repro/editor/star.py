@@ -38,13 +38,30 @@ Every generation/execution is recorded in a shared
 each compressed-timestamp concurrency verdict is asserted against full
 vector clocks (paper formula 3) at check time; the integration tests run
 entire random sessions this way.
+
+Reliability under faults
+------------------------
+The formulas require FIFO channels; a faulty network (see
+:mod:`repro.net.faults`) may lose or duplicate messages and clients may
+crash.  When a session runs with a fault plan, every process speaks a
+reliability protocol layered below the editor logic
+(:class:`ReliableEndpoint`): messages travel in sequence-numbered
+:class:`ReliablePacket` envelopes, the sender retransmits unacknowledged
+packets with exponential backoff, and the receiver deduplicates by
+``(source, seq)`` and releases packets to the editor strictly in
+sequence order -- reconstructing exactly the FIFO stream formulas (5)
+and (7) assume.  A crashed client loses all volatile state; on restart
+it opens a new *epoch* (stale in-flight traffic from the previous
+incarnation is discarded by epoch) and resynchronises through the
+existing :class:`SnapshotMessage` path.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.clocks.events import EventLog
 from repro.clocks.vector import concurrent as vc_concurrent
@@ -53,17 +70,12 @@ from repro.core.history import HistoryBuffer, HistoryEntry
 from repro.core.state_vector import ClientStateVector, NotifierStateVector
 from repro.core.timestamp import CompressedTimestamp, OriginKind
 from repro.net.channel import LatencyModel
+from repro.net.faults import FaultPlan
 from repro.net.process import SimProcess
 from repro.net.simulator import Simulator
 from repro.net.topology import StarTopology
 from repro.net.transport import Envelope
 from repro.ot.types import get_type
-
-_op_counter = itertools.count(1)
-
-
-def _fresh_op_id(prefix: str) -> str:
-    return f"{prefix}{next(_op_counter)}"
 
 
 class ConsistencyError(AssertionError):
@@ -87,17 +99,269 @@ class OpMessage:
 
 @dataclass(frozen=True)
 class SnapshotMessage:
-    """State transfer for a late-joining client.
+    """State transfer for a late-joining or recovering client.
 
-    ``base_count`` is the number of operations the notifier had executed
-    when the snapshot was taken; the joiner seeds ``SV_i[1]`` with it so
-    the compressed-timestamp arithmetic (formulas 1-2, 5, 7) stays exact:
-    the snapshot "delivers" those operations in bulk, and the FIFO
-    channel guarantees every later broadcast arrives after it.
+    ``base_count`` is the number of notifier broadcasts the destination
+    would have received so far (``sum_{j != dest} SV_0[j]``); the client
+    seeds ``SV_i[1]`` with it so the compressed-timestamp arithmetic
+    (formulas 1-2, 5, 7) stays exact: the snapshot "delivers" those
+    operations in bulk, and the FIFO channel guarantees every later
+    broadcast arrives after it.  For crash recovery ``own_count``
+    additionally restores ``SV_i[2]`` (``SV_0[dest]``: the destination's
+    operations the notifier had executed), and ``origin_clock`` carries
+    the notifier's ground-truth vector clock at snapshot time so the
+    oracle stays exact across the state transfer.
     """
 
     document: Any
     base_count: int
+    own_count: int = 0
+    origin_clock: Any = None
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """First message of a restarted client's new epoch: "send me state"."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ReliablePacket:
+    """The reliability envelope wrapped around every editor message.
+
+    ``seq`` numbers the sender's stream to this destination (``-1`` for
+    pure acknowledgements, which are unsequenced); ``epoch`` identifies
+    the client incarnation the packet belongs to; ``ack`` is cumulative:
+    the highest seq the sender has received *in order* from the
+    destination (``-1`` if none).
+    """
+
+    seq: int
+    epoch: int
+    ack: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.seq < -1 or self.ack < -1 or self.epoch < 0:
+            raise ValueError(f"malformed packet: {self}")
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Retransmission parameters of the reliability protocol."""
+
+    base_rto: float = 0.5  # initial retransmit timeout (virtual time)
+    max_rto: float = 8.0  # backoff ceiling
+    backoff: float = 2.0  # timeout multiplier per retry round
+
+    def __post_init__(self) -> None:
+        if self.base_rto <= 0 or self.max_rto < self.base_rto or self.backoff < 1.0:
+            raise ValueError(f"malformed reliability config: {self}")
+
+
+@dataclass
+class ReliabilityStats:
+    """Per-endpoint protocol counters (aggregated by the fault report)."""
+
+    sent: int = 0
+    retransmits: int = 0
+    acks_sent: int = 0
+    duplicates_discarded: int = 0
+    stale_epoch_discarded: int = 0
+    out_of_order_held: int = 0
+    dropped_while_crashed: int = 0
+    lost_local_edits: int = 0
+    recoveries: int = 0  # clients: completed restarts; notifier: resyncs served
+
+
+@dataclass
+class _PeerLink:
+    """One endpoint's reliability state toward one peer."""
+
+    epoch: int = 0
+    send_seq: int = 0  # next outgoing seq
+    unacked: dict[int, tuple[Any, int, str]] = field(default_factory=dict)
+    rto: float = 0.0
+    timer: Any = None  # pending retransmit event, if armed
+    recv_next: int = 0  # next seq to release to the editor
+    holdback: dict[int, Envelope] = field(default_factory=dict)
+    delivered: int = 0  # packets released to the editor, for the FIFO audit
+
+
+class ReliableEndpoint(SimProcess):
+    """A :class:`SimProcess` with an optional reliability layer.
+
+    With ``reliability=None`` (the default everywhere faults are not
+    injected) ``send``/``on_message`` pass straight through and nothing
+    below this line runs -- the perfect-network behaviour and wire
+    accounting are byte-for-byte unchanged.  With a config, every
+    outgoing message is sequenced, retransmitted until acknowledged and
+    released to :meth:`_handle_app_message` strictly in order.
+    """
+
+    def __init__(
+        self, sim: Simulator, pid: int, reliability: ReliabilityConfig | None = None
+    ) -> None:
+        super().__init__(sim, pid)
+        self.reliability = reliability
+        self.rel_stats = ReliabilityStats()
+        self._links: dict[int, _PeerLink] = {}
+        self._crashed = False
+
+    # -- sending ---------------------------------------------------------------
+
+    def _link(self, peer: int) -> _PeerLink:
+        if peer not in self._links:
+            rto = self.reliability.base_rto if self.reliability else 0.0
+            self._links[peer] = _PeerLink(rto=rto)
+        return self._links[peer]
+
+    def send(self, dest: int, payload: Any, timestamp_bytes: int = 0, kind: str = "op") -> None:
+        if self.reliability is None:
+            super().send(dest, payload, timestamp_bytes, kind)
+            return
+        link = self._link(dest)
+        seq = link.send_seq
+        link.send_seq += 1
+        link.unacked[seq] = (payload, timestamp_bytes, kind)
+        self.rel_stats.sent += 1
+        self._transmit(dest, link, seq, payload, timestamp_bytes, kind)
+        self._arm_timer(dest, link)
+
+    def _transmit(
+        self, dest: int, link: _PeerLink, seq: int, payload: Any, ts_bytes: int, kind: str
+    ) -> None:
+        packet = ReliablePacket(seq=seq, epoch=link.epoch, ack=link.recv_next - 1, payload=payload)
+        SimProcess.send(self, dest, packet, timestamp_bytes=ts_bytes, kind=kind)
+
+    def _arm_timer(self, dest: int, link: _PeerLink) -> None:
+        if link.timer is None and link.unacked:
+            link.timer = self.sim.schedule_after(link.rto, lambda: self._on_timer(dest, link))
+
+    def _on_timer(self, dest: int, link: _PeerLink) -> None:
+        link.timer = None
+        # The link may have been replaced by a crash or an epoch bump
+        # since this timer was armed; a stale timer must not touch it.
+        if self._crashed or self._links.get(dest) is not link or not link.unacked:
+            return
+        for seq in sorted(link.unacked):
+            payload, ts_bytes, kind = link.unacked[seq]
+            self.rel_stats.retransmits += 1
+            self._transmit(dest, link, seq, payload, ts_bytes, kind)
+        link.rto = min(link.rto * self.reliability.backoff, self.reliability.max_rto)
+        self._arm_timer(dest, link)
+
+    # -- receiving -------------------------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        if self._crashed:
+            self.rel_stats.dropped_while_crashed += 1
+            return
+        payload = envelope.payload
+        if self.reliability is None or not isinstance(payload, ReliablePacket):
+            self._handle_app_message(envelope)
+            return
+        self._receive_packet(envelope, payload)
+
+    def _receive_packet(self, envelope: Envelope, packet: ReliablePacket) -> None:
+        source = envelope.source
+        link = self._link(source)
+        if packet.epoch < link.epoch:
+            self.rel_stats.stale_epoch_discarded += 1
+            return
+        if packet.epoch > link.epoch:
+            # The peer restarted into a new incarnation: everything from
+            # the old one -- send window, reorder buffer -- is void.
+            link = self._reset_link(source, packet.epoch)
+        if packet.ack >= 0:
+            self._process_ack(source, link, packet.ack)
+        if packet.seq < 0:  # pure acknowledgement
+            return
+        if packet.seq < link.recv_next:
+            # Duplicate of something already released: re-ack so the
+            # sender stops retransmitting (its ack may have been lost).
+            self.rel_stats.duplicates_discarded += 1
+            self._send_ack(source, link)
+            return
+        if packet.seq > link.recv_next:
+            # A gap: hold the packet back until retransmission fills it.
+            # Releasing it now would reorder the stream and break the
+            # FIFO precondition of formulas (5) and (7).
+            if packet.seq in link.holdback:
+                self.rel_stats.duplicates_discarded += 1
+            else:
+                link.holdback[packet.seq] = envelope
+                self.rel_stats.out_of_order_held += 1
+            self._send_ack(source, link)
+            return
+        self._release(link, envelope)
+        while link.recv_next in link.holdback:
+            self._release(link, link.holdback.pop(link.recv_next))
+        self._send_ack(source, link)
+
+    def _release(self, link: _PeerLink, envelope: Envelope) -> None:
+        """Hand one in-sequence packet's payload to the editor."""
+        link.recv_next += 1
+        link.delivered += 1
+        packet: ReliablePacket = envelope.payload
+        self._handle_app_message(
+            Envelope(
+                source=envelope.source,
+                dest=envelope.dest,
+                payload=packet.payload,
+                timestamp_bytes=envelope.timestamp_bytes,
+                kind=envelope.kind,
+                message_id=envelope.message_id,
+            )
+        )
+
+    def _send_ack(self, dest: int, link: _PeerLink) -> None:
+        self.rel_stats.acks_sent += 1
+        packet = ReliablePacket(seq=-1, epoch=link.epoch, ack=link.recv_next - 1)
+        SimProcess.send(self, dest, packet, timestamp_bytes=0, kind="ack")
+
+    def _process_ack(self, dest: int, link: _PeerLink, ack: int) -> None:
+        acked = [seq for seq in link.unacked if seq <= ack]
+        for seq in acked:
+            del link.unacked[seq]
+        if acked:
+            link.rto = self.reliability.base_rto  # progress: reset backoff
+            # Restart the retransmit clock: the surviving packets were all
+            # sent more recently than the one just acknowledged, so the
+            # old deadline would fire spuriously (a full RTO must elapse
+            # *without progress* before we suspect loss).
+            if link.timer is not None:
+                self.sim.cancel(link.timer)
+                link.timer = None
+            self._arm_timer(dest, link)
+        elif not link.unacked and link.timer is not None:
+            self.sim.cancel(link.timer)
+            link.timer = None
+
+    def _reset_link(self, peer: int, epoch: int) -> _PeerLink:
+        """Void the link state and start the given epoch from seq 0."""
+        link = _PeerLink(
+            epoch=epoch, rto=self.reliability.base_rto if self.reliability else 0.0
+        )
+        old = self._links.get(peer)
+        if old is not None and old.timer is not None:
+            self.sim.cancel(old.timer)
+        self._links[peer] = link
+        return link
+
+    def delivered_in_order(self) -> bool:
+        """Audit: every released packet advanced ``recv_next`` by exactly 1.
+
+        True iff, on every inbound link, the number of packets released
+        to the editor equals the contiguous sequence prefix -- i.e. the
+        reliability layer reconstructed a gap-free FIFO stream.
+        """
+        return all(link.delivered == link.recv_next for link in self._links.values())
+
+    def _handle_app_message(self, envelope: Envelope) -> None:
+        """Editor-level message handling; override in subclasses."""
+        raise NotImplementedError
 
 
 @dataclass
@@ -146,7 +410,7 @@ def _execute_remote(ot: Any, state: Any, op: Any, transform_enabled: bool) -> An
     return ot.apply(state, op)
 
 
-class StarClient(SimProcess):
+class StarClient(ReliableEndpoint):
     """A collaborating site ``i != 0``."""
 
     def __init__(
@@ -160,17 +424,19 @@ class StarClient(SimProcess):
         transform_enabled: bool = True,
         record_checks: bool = True,
         joining: bool = False,
+        reliability: ReliabilityConfig | None = None,
     ) -> None:
         if site_id <= 0:
             raise ValueError(f"client site ids are 1..N, got {site_id}")
-        super().__init__(sim, site_id)
+        super().__init__(sim, site_id, reliability)
         self.ot = get_type(ot_type_name)
         self.document = self.ot.initial() if initial_state is None else initial_state
         self.sv = ClientStateVector(site_id)
         self.hb = HistoryBuffer()
         # Local operations not yet reflected in a notifier timestamp; each
         # element is the HistoryEntry so re-transformation updates the HB.
-        self.pending: list[HistoryEntry] = []
+        # Acknowledgement pops from the left on every arrival: a deque.
+        self.pending: deque[HistoryEntry] = deque()
         self.event_log = event_log
         self.verify_with_oracle = verify_with_oracle
         self.transform_enabled = transform_enabled
@@ -181,21 +447,38 @@ class StarClient(SimProcess):
         self.executed_op_ids: list[str] = []
         # Late joiners start inactive and are activated by the snapshot.
         self.active = not joining
+        # Per-client counter: op ids must not leak across sessions in one
+        # process, or replays stop being reproducible.  Survives crashes
+        # (ids are ground-truth bookkeeping, not volatile editor state).
+        self._op_ids = itertools.count(1)
+        # Undo bookkeeping, independent of the HB so garbage collection
+        # cannot take a legitimately undoable operation away.
+        self._last_local_entry: HistoryEntry | None = None
+        self._last_exec_was_local = False
+        self.crash_count = 0
+        self._recovering = False
 
     # -- local editing -------------------------------------------------------
 
-    def generate(self, op: Any, op_id: str | None = None) -> str:
+    def generate(self, op: Any, op_id: str | None = None) -> str | None:
         """Generate, execute and propagate a local operation.
 
         Returns the operation id.  Per the paper: execute immediately,
         increment ``SV_i[2]``, timestamp with the current ``SV_i``,
-        propagate to site 0, and buffer in the local HB.
+        propagate to site 0, and buffer in the local HB.  While the
+        client is crashed or awaiting its recovery snapshot the edit is
+        dropped (returns ``None``).
         """
         if not self.active:
+            if self._crashed or self._recovering:
+                # A user edit during an outage is simply lost, like
+                # keystrokes into a dead terminal; count it and move on.
+                self.rel_stats.lost_local_edits += 1
+                return None
             raise RuntimeError(
                 f"site {self.pid} has not received its join snapshot yet"
             )
-        op_id = op_id or _fresh_op_id(f"c{self.pid}_")
+        op_id = op_id or f"c{self.pid}_{next(self._op_ids)}"
         inverse = None
         invert = getattr(self.ot, "invert", None)
         if invert is not None:
@@ -218,6 +501,8 @@ class StarClient(SimProcess):
         self.hb.append(entry)
         self.pending.append(entry)
         self.executed_op_ids.append(op_id)
+        self._last_local_entry = entry
+        self._last_exec_was_local = True
         if self.event_log is not None:
             self.event_log.generate(self.pid, op_id)
         message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
@@ -226,7 +511,7 @@ class StarClient(SimProcess):
 
     # -- receiving from the notifier ------------------------------------------
 
-    def on_message(self, envelope: Envelope) -> None:
+    def _handle_app_message(self, envelope: Envelope) -> None:
         if isinstance(envelope.payload, SnapshotMessage):
             self._install_snapshot(envelope.payload)
             return
@@ -247,7 +532,7 @@ class StarClient(SimProcess):
         # FIFO acknowledgement: T[2] local operations are now reflected
         # in the notifier's state; they stop being "pending".
         while self.pending and self.pending[0].timestamp.second <= ts.second:
-            self.pending.pop(0)
+            self.pending.popleft()
         if self.transform_enabled and concurrent_entries is not None:
             expected = [entry.op_id for entry in self.pending]
             actual = [entry.op_id for entry in concurrent_entries]
@@ -278,6 +563,9 @@ class StarClient(SimProcess):
             )
         )
         self.executed_op_ids.append(message.op_id)
+        # A remote execution invalidates undo: the stored inverse is no
+        # longer defined on the current document.
+        self._last_exec_was_local = False
         if self.event_log is not None:
             self.event_log.execute(self.pid, message.op_id)
 
@@ -324,11 +612,18 @@ class StarClient(SimProcess):
         Raises :class:`UndoError` if the last executed operation was not
         a local one (a remote operation arrived since -- the inverse's
         context is gone) or the OT type does not support inversion.
+
+        The undoable entry is tracked independently of the HB:
+        ``collect_garbage`` may prune the site's latest local entry (it
+        stops being *pending* the moment the notifier acknowledges it)
+        but the operation remains perfectly undoable -- the inverse is
+        defined on the current document as long as nothing remote has
+        executed since.
         """
-        if len(self.hb) == 0:
+        entry = self._last_local_entry
+        if entry is None:
             raise UndoError(f"site {self.pid} has nothing to undo")
-        entry = self.hb[len(self.hb) - 1]
-        if entry.origin_kind is not OriginKind.LOCAL:
+        if not self._last_exec_was_local:
             raise UndoError(
                 f"site {self.pid}: a remote operation executed after the last "
                 "local one; undo context is gone"
@@ -345,13 +640,65 @@ class StarClient(SimProcess):
         ``SV_i[1] := base_count``: the snapshot stands in for the first
         ``base_count`` operations of the notifier's stream, so all later
         timestamp arithmetic lines up with clients that were present from
-        the start.
+        the start.  A recovering client additionally restores
+        ``SV_i[2] := own_count`` -- the notifier's count of this site's
+        operations -- so post-restart timestamps continue the numbering
+        the notifier's formula-(7) bookkeeping expects.
         """
         if self.active:
             raise ConsistencyError(f"site {self.pid} received a second snapshot")
         self.document = snapshot.document
-        self.sv.received_from_center = snapshot.base_count
+        if self._recovering:
+            self.sv = ClientStateVector(
+                self.pid,
+                received_from_center=snapshot.base_count,
+                generated_locally=snapshot.own_count,
+            )
+            self._recovering = False
+            self.rel_stats.recoveries += 1
+            if self.event_log is not None and snapshot.origin_clock is not None:
+                self.event_log.absorb_snapshot(self.pid, snapshot.origin_clock)
+        else:
+            self.sv.received_from_center = snapshot.base_count
         self.active = True
+
+    # -- crash / recovery -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state; messages are dropped until restart."""
+        if self.reliability is None:
+            raise RuntimeError("crash injection requires the reliability protocol")
+        self._crashed = True
+        self.active = False
+        self._recovering = False
+        self.crash_count += 1
+        self.document = self.ot.initial()
+        self.sv = ClientStateVector(self.pid)
+        self.hb = HistoryBuffer()
+        self.pending = deque()
+        self._last_local_entry = None
+        self._last_exec_was_local = False
+        # Reliability windows and reorder buffers are volatile too.
+        for link in self._links.values():
+            if link.timer is not None:
+                self.sim.cancel(link.timer)
+        self._links = {}
+
+    def restart(self) -> None:
+        """Come back up and resynchronise through the snapshot path.
+
+        Opens epoch ``crash_count``: the notifier voids the previous
+        incarnation's link state when it sees the higher epoch, so stale
+        in-flight traffic can never corrupt the restarted session.  The
+        resync request itself travels reliably (seq 0 of the new epoch),
+        so it survives drops like any other message.
+        """
+        if not self._crashed:
+            raise RuntimeError(f"site {self.pid} is not crashed")
+        self._crashed = False
+        self._recovering = True
+        self._reset_link(0, self.crash_count)
+        self.send(0, ResyncRequest(epoch=self.crash_count), timestamp_bytes=0, kind="resync")
 
     # -- maintenance -----------------------------------------------------------
 
@@ -370,7 +717,7 @@ class StarClient(SimProcess):
         return self.sv.storage_ints()
 
 
-class StarNotifier(SimProcess):
+class StarNotifier(ReliableEndpoint):
     """Site 0: the notifier at the centre of the star."""
 
     def __init__(
@@ -383,8 +730,9 @@ class StarNotifier(SimProcess):
         verify_with_oracle: bool = False,
         transform_enabled: bool = True,
         record_checks: bool = True,
+        reliability: ReliabilityConfig | None = None,
     ) -> None:
-        super().__init__(sim, 0)
+        super().__init__(sim, 0, reliability)
         if n_sites < 1:
             raise ValueError(f"need at least one collaborating site, got {n_sites}")
         self.n_sites = n_sites
@@ -393,9 +741,12 @@ class StarNotifier(SimProcess):
         self.sv = NotifierStateVector(n_sites)
         self.hb = HistoryBuffer()
         # Per destination: broadcast operations the destination has not
-        # yet acknowledged, each in its per-destination form.
-        self.sent_to: dict[int, list[PendingOp]] = {i: [] for i in range(1, n_sites + 1)}
-        # How many entries have been dropped from each sent_to list.
+        # yet acknowledged, each in its per-destination form.  Every ack
+        # drops a prefix, so deques keep that O(acked) not O(n).
+        self.sent_to: dict[int, deque[PendingOp]] = {
+            i: deque() for i in range(1, n_sites + 1)
+        }
+        # How many entries have been dropped from each sent_to deque.
         self.acked: dict[int, int] = {i: 0 for i in range(1, n_sites + 1)}
         self.event_log = event_log
         self.verify_with_oracle = verify_with_oracle
@@ -405,7 +756,10 @@ class StarNotifier(SimProcess):
         self.executed_op_ids: list[str] = []
         self.broadcast_log: list[tuple[str, int, CompressedTimestamp]] = []
 
-    def on_message(self, envelope: Envelope) -> None:
+    def _handle_app_message(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, ResyncRequest):
+            self._serve_resync(envelope.source)
+            return
         message: OpMessage = envelope.payload
         source = envelope.source
         ts = message.timestamp
@@ -422,7 +776,8 @@ class StarNotifier(SimProcess):
                 f"notifier: site {source} acknowledged {ts.first} < previously "
                 f"acknowledged {already} (FIFO violated?)"
             )
-        del self.sent_to[source][:to_drop]
+        for _ in range(to_drop):
+            self.sent_to[source].popleft()
         self.acked[source] = ts.first
         if self.transform_enabled and concurrent_entries is not None:
             expected = [entry.op_id for entry in self.sent_to[source]]
@@ -530,11 +885,46 @@ class StarNotifier(SimProcess):
                 f"joiner must take the next site id {site_id}, got {client.pid}"
             )
         self.n_sites = site_id
-        self.sent_to[site_id] = []
+        self.sent_to[site_id] = deque()
         self.acked[site_id] = self.sv.total()
         self.send(
             site_id,
             SnapshotMessage(document=self.document, base_count=self.sv.total()),
+            timestamp_bytes=0,
+            kind="snapshot",
+        )
+
+    def _serve_resync(self, site: int) -> None:
+        """Re-admit a crashed-and-restarted client.
+
+        The snapshot covers everything executed at site 0, so nothing
+        stays pending for the restarted site: its send window was
+        already voided by the epoch bump, ``sent_to``/``acked`` restart
+        at the snapshot horizon, and the snapshot itself goes out as
+        seq 0 of the new epoch -- FIFO guarantees every later broadcast
+        arrives after it, exactly as for a fresh joiner.
+
+        ``base_count`` excludes the site's own operations (the notifier
+        only ever broadcasts *other* sites' operations to it), and
+        ``own_count`` hands back ``SV_0[site]`` so the client's local
+        numbering resumes where the notifier's bookkeeping expects.
+        """
+        own = self.sv[site]
+        base = self.sv.total() - own
+        self.sent_to[site] = deque()
+        self.acked[site] = base
+        self.rel_stats.recoveries += 1
+        origin_clock = None
+        if self.event_log is not None:
+            origin_clock = self.event_log.site_clock(0)
+        self.send(
+            site,
+            SnapshotMessage(
+                document=self.document,
+                base_count=base,
+                own_count=own,
+                origin_clock=origin_clock,
+            ),
             timestamp_bytes=0,
             kind="snapshot",
         )
@@ -562,11 +952,20 @@ class StarSession:
         transform_enabled: bool = True,
         record_events: bool = True,
         record_checks: bool = True,
+        fault_plan: FaultPlan | None = None,
+        reliability: ReliabilityConfig | None = None,
     ) -> None:
         self.sim = Simulator()
         self._ot_type_name = ot_type_name
         self._transform_enabled = transform_enabled
         self._record_checks = record_checks
+        self.fault_plan = fault_plan
+        # Faults demand the reliability protocol; without faults it is
+        # opt-in (and off by default, keeping the perfect-network wire
+        # accounting byte-for-byte identical to the paper's).
+        if fault_plan is not None and reliability is None:
+            reliability = ReliabilityConfig()
+        self.reliability = reliability
         self.event_log = EventLog(n_sites + 1) if record_events else None
         self.notifier = StarNotifier(
             self.sim,
@@ -577,6 +976,7 @@ class StarSession:
             verify_with_oracle,
             transform_enabled,
             record_checks,
+            reliability=reliability,
         )
         self.clients = [
             StarClient(
@@ -588,12 +988,21 @@ class StarSession:
                 verify_with_oracle,
                 transform_enabled,
                 record_checks,
+                reliability=reliability,
             )
             for i in range(1, n_sites + 1)
         ]
         self.topology = StarTopology(
-            self.sim, [self.notifier, *self.clients], latency_factory
+            self.sim,
+            [self.notifier, *self.clients],
+            latency_factory,
+            channel_factory=fault_plan.channel_factory() if fault_plan else None,
         )
+        if fault_plan is not None:
+            for crash in fault_plan.crashes:
+                client = self.client(crash.site)
+                self.sim.schedule(crash.at, client.crash)
+                self.sim.schedule(crash.restart_at, client.restart)
 
     def add_client(self, at: float) -> int:
         """Schedule a late join at virtual time ``at``; returns the site id.
@@ -621,6 +1030,7 @@ class StarSession:
             self._transform_enabled,
             self._record_checks,
             joining=True,
+            reliability=self.reliability,
         )
         self.clients.append(client)
 
@@ -667,3 +1077,18 @@ class StarSession:
 
     def wire_stats(self):
         return self.topology.total_stats()
+
+    def reliable_delivery_in_order(self) -> bool:
+        """True iff every endpoint's reliability layer released a gap-free
+        FIFO stream to the editor (trivially true without reliability)."""
+        endpoints = [self.notifier, *self.clients]
+        return all(endpoint.delivered_in_order() for endpoint in endpoints)
+
+    def fault_report(self):
+        """Aggregate what the network did and what the protocol absorbed."""
+        from repro.metrics.accounting import build_fault_report
+
+        return build_fault_report(
+            self.topology.total_fault_stats(),
+            [self.notifier.rel_stats, *(c.rel_stats for c in self.clients)],
+        )

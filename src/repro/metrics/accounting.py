@@ -144,3 +144,77 @@ def memory_comparison(n_values: Sequence[int]) -> list[MemoryComparison]:
         )
         for n in n_values
     ]
+
+
+@dataclass(frozen=True)
+class FaultToleranceReport:
+    """What the network did to a session vs. what the protocol absorbed.
+
+    The left column aggregates :class:`repro.net.faults.FaultStats` over
+    every channel (losses the *network* caused); the right aggregates
+    :class:`repro.editor.star.ReliabilityStats` over every endpoint (the
+    recovery work the protocol did).  A convergent session under faults
+    should show ``retransmits > 0`` whenever ``lost > 0``.
+    """
+
+    # network side
+    dropped: int
+    duplicated: int
+    outage_dropped: int
+    # protocol side
+    sent: int
+    retransmits: int
+    acks_sent: int
+    duplicates_discarded: int
+    stale_epoch_discarded: int
+    out_of_order_held: int
+    dropped_while_crashed: int
+    lost_local_edits: int
+    recoveries: int
+
+    @property
+    def lost(self) -> int:
+        """Messages the network destroyed (drops plus outage losses)."""
+        return self.dropped + self.outage_dropped
+
+    def summary(self) -> str:
+        return (
+            f"network: dropped={self.dropped} duplicated={self.duplicated} "
+            f"outage_dropped={self.outage_dropped}\n"
+            f"protocol: sent={self.sent} retransmits={self.retransmits} "
+            f"acks={self.acks_sent} dedup={self.duplicates_discarded} "
+            f"stale_epoch={self.stale_epoch_discarded} "
+            f"held_for_order={self.out_of_order_held}\n"
+            f"crashes: dropped_while_down={self.dropped_while_crashed} "
+            f"lost_local_edits={self.lost_local_edits} "
+            f"recoveries={self.recoveries}"
+        )
+
+
+def build_fault_report(fault_stats, rel_stats_list) -> FaultToleranceReport:
+    """Aggregate channel fault stats and per-endpoint reliability stats.
+
+    Duck-typed over :class:`repro.net.faults.FaultStats` and an iterable
+    of :class:`repro.editor.star.ReliabilityStats` so this module stays
+    import-light (the editor imports it, not vice versa).
+    """
+    totals = {
+        "sent": 0,
+        "retransmits": 0,
+        "acks_sent": 0,
+        "duplicates_discarded": 0,
+        "stale_epoch_discarded": 0,
+        "out_of_order_held": 0,
+        "dropped_while_crashed": 0,
+        "lost_local_edits": 0,
+        "recoveries": 0,
+    }
+    for stats in rel_stats_list:
+        for name in totals:
+            totals[name] += getattr(stats, name)
+    return FaultToleranceReport(
+        dropped=fault_stats.dropped,
+        duplicated=fault_stats.duplicated,
+        outage_dropped=fault_stats.outage_dropped,
+        **totals,
+    )

@@ -112,18 +112,28 @@ class FIFOChannel:
 
     def send(self, envelope: Envelope) -> float:
         """Enqueue ``envelope``; returns its delivery time."""
+        self._admit(envelope)
+        return self._schedule_delivery(envelope)
+
+    def _admit(self, envelope: Envelope) -> None:
+        """Validate addressing, assign the message id, account wire bytes."""
         if envelope.source != self.source or envelope.dest != self.dest:
             raise ValueError(
                 f"envelope addressed {envelope.source}->{envelope.dest} sent on "
                 f"channel {self.source}->{self.dest}"
             )
-        delivery = max(self.sim.now + self.latency.sample(), self._last_delivery)
-        self._last_delivery = delivery
-        self._sent_ids.append(envelope.message_id)
+        if envelope.message_id is None:
+            object.__setattr__(envelope, "message_id", self.sim.next_message_id())
         self.stats.messages += 1
         self.stats.total_bytes += envelope.total_bytes()
         self.stats.timestamp_bytes += envelope.timestamp_bytes
         self.stats.payload_bytes += envelope.total_bytes() - envelope.timestamp_bytes - 8
+
+    def _schedule_delivery(self, envelope: Envelope) -> float:
+        """Schedule one delivery of ``envelope``, clamped to FIFO order."""
+        delivery = max(self.sim.now + self.latency.sample(), self._last_delivery)
+        self._last_delivery = delivery
+        self._sent_ids.append(envelope.message_id)
 
         def deliver() -> None:
             self._delivered_ids.append(envelope.message_id)

@@ -45,6 +45,16 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._pending = 0  # live count of scheduled, non-cancelled events
+        self._message_ids = itertools.count()
+
+    def next_message_id(self) -> int:
+        """Allocate a message id unique within this simulation.
+
+        Per-simulator (not process-global) so two sessions built in the
+        same process produce identical id streams for identical seeds.
+        """
+        return next(self._message_ids)
 
     @property
     def now(self) -> float:
@@ -58,8 +68,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Events scheduled but not yet executed."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Events scheduled but not yet executed (O(1) live counter)."""
+        return self._pending
 
     def schedule(self, time: float, callback: Callable[[], None]) -> _ScheduledEvent:
         """Schedule ``callback`` at absolute virtual ``time``."""
@@ -69,6 +79,7 @@ class Simulator:
             )
         event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
@@ -79,7 +90,9 @@ class Simulator:
 
     def cancel(self, event: _ScheduledEvent) -> None:
         """Cancel a previously scheduled event (lazy removal)."""
-        event.cancelled = True
+        if not event.cancelled:
+            event.cancelled = True
+            self._pending -= 1
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
@@ -87,6 +100,7 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._pending -= 1
             self._now = event.time
             event.callback()
             self._processed += 1

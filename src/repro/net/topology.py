@@ -12,11 +12,24 @@ from typing import Callable, Sequence
 from repro.net.channel import ChannelStats, FIFOChannel, FixedLatency, LatencyModel
 from repro.net.process import SimProcess
 from repro.net.simulator import Simulator
+from repro.net.transport import Envelope
+
+# Builds a channel: (sim, source_pid, dest_pid, latency, on_deliver).
+# The default builds plain FIFOChannels; fault plans supply one that
+# builds FaultyChannels (see repro.net.faults.FaultPlan.channel_factory).
+ChannelFactory = Callable[
+    [Simulator, int, int, LatencyModel, Callable[[Envelope], None]], FIFOChannel
+]
+
+
+def _default_channel_factory(sim, source, dest, latency, on_deliver) -> FIFOChannel:
+    return FIFOChannel(sim, source, dest, latency, on_deliver)
 
 
 class _BaseTopology:
-    def __init__(self) -> None:
+    def __init__(self, channel_factory: ChannelFactory | None = None) -> None:
         self.channels: dict[tuple[int, int], FIFOChannel] = {}
+        self._channel_factory = channel_factory or _default_channel_factory
 
     def _connect(
         self,
@@ -27,7 +40,7 @@ class _BaseTopology:
     ) -> None:
         """Install a bidirectional pair of FIFO channels between a and b."""
         for src, dst in ((a, b), (b, a)):
-            channel = FIFOChannel(
+            channel = self._channel_factory(
                 sim,
                 src.pid,
                 dst.pid,
@@ -51,6 +64,19 @@ class _BaseTopology:
         """True iff no channel ever delivered out of send order."""
         return all(ch.fifo_respected() for ch in self.channels.values())
 
+    def total_fault_stats(self):
+        """Aggregate fault-injection statistics over every faulty channel."""
+        from repro.net.faults import FaultStats
+
+        agg = FaultStats()
+        for channel in self.channels.values():
+            stats = getattr(channel, "fault_stats", None)
+            if stats is not None:
+                agg.dropped += stats.dropped
+                agg.duplicated += stats.duplicated
+                agg.outage_dropped += stats.outage_dropped
+        return agg
+
     def edge_count(self) -> int:
         """Number of unidirectional channels."""
         return len(self.channels)
@@ -67,8 +93,9 @@ class StarTopology(_BaseTopology):
         sim: Simulator,
         processes: Sequence[SimProcess],
         latency_factory: Callable[[int, int], LatencyModel] | None = None,
+        channel_factory: ChannelFactory | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(channel_factory)
         if len(processes) < 2:
             raise ValueError("a star needs the notifier plus at least one client")
         if processes[0].pid != 0:
@@ -99,8 +126,9 @@ class MeshTopology(_BaseTopology):
         sim: Simulator,
         processes: Sequence[SimProcess],
         latency_factory: Callable[[int, int], LatencyModel] | None = None,
+        channel_factory: ChannelFactory | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(channel_factory)
         if len(processes) < 2:
             raise ValueError("a mesh needs at least two sites")
         factory = latency_factory or (lambda s, d: FixedLatency(0.05))

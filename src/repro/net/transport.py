@@ -10,13 +10,10 @@ comparison is apples-to-apples.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 INT_WIDTH = 4  # bytes per serialised integer; shared by all schemes
-
-_envelope_ids = itertools.count()
 
 
 def measure_payload_bytes(payload: Any) -> int:
@@ -32,6 +29,11 @@ def measure_payload_bytes(payload: Any) -> int:
         return 0
     # Editor message wrappers: charge their framing plus the inner op.
     # (Duck-typed to keep transport below the editor layer.)
+    if hasattr(payload, "seq") and hasattr(payload, "epoch") and hasattr(payload, "payload"):
+        # Reliability envelope: seq + epoch + cumulative ack, then the body.
+        return 3 * INT_WIDTH + measure_payload_bytes(payload.payload)
+    if hasattr(payload, "epoch") and not hasattr(payload, "seq"):  # resync requests
+        return INT_WIDTH
     if hasattr(payload, "op") and hasattr(payload, "op_id") and hasattr(payload, "origin_site"):
         return 4 + len(str(payload.op_id)) + measure_payload_bytes(payload.op)
     if hasattr(payload, "op") and hasattr(payload, "vc"):  # mesh records
@@ -67,6 +69,11 @@ class Envelope:
     ``timestamp_bytes`` is supplied by the sender according to its clock
     scheme (2 ints for the compressed scheme, N ints for full vectors,
     variable for SK); ``payload_bytes`` is measured from the payload.
+
+    ``message_id`` is assigned by the channel from the simulator's
+    per-simulation counter at send time (see
+    :meth:`repro.net.simulator.Simulator.next_message_id`), keeping id
+    streams reproducible when several sessions share one process.
     """
 
     source: int
@@ -74,7 +81,7 @@ class Envelope:
     payload: Any
     timestamp_bytes: int = 0
     kind: str = "op"
-    message_id: int = field(default_factory=lambda: next(_envelope_ids))
+    message_id: int | None = None
 
     def total_bytes(self) -> int:
         """Payload + timestamp + a fixed 8-byte header."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 import string
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ot.operations import Delete, Insert, Operation
 

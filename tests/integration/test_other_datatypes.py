@@ -11,8 +11,6 @@ exactly the same timestamping and concurrency machinery.
 
 import random
 
-import pytest
-
 from repro.editor.star import StarSession
 from repro.net.channel import UniformLatency
 from repro.ot.types import CounterOp, ListOp, RegisterOp

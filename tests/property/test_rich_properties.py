@@ -90,7 +90,7 @@ class TestRichTP1:
         concurrent ones.  Each model satisfies TP1 on its own; sessions
         must simply not mix them, which the type registry enforces.)
         """
-        from repro.ot.rich import DeleteRich, InsertRich, Retain, to_string
+        from repro.ot.rich import InsertRich, Retain, to_string
 
         doc, a, b = case
         a2, b2 = a.transform(b)

@@ -97,6 +97,26 @@ class TestRunControls:
         assert fired == []
         assert sim.processed_events == 0
 
+    def test_pending_counter_tracks_schedule_cancel_execute(self):
+        """pending_events is a live O(1) counter; cancel decrements it
+        immediately and double-cancel must not decrement twice."""
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        sim.cancel(events[2])
+        assert sim.pending_events == 4
+        sim.cancel(events[2])  # idempotent
+        assert sim.pending_events == 4
+        sim.step()
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_message_ids_are_per_simulator(self):
+        a, b = Simulator(), Simulator()
+        assert [a.next_message_id() for _ in range(3)] == [0, 1, 2]
+        assert [b.next_message_id() for _ in range(3)] == [0, 1, 2]
+
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
 

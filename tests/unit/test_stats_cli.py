@@ -106,6 +106,40 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "architecture     : mesh" in out
 
+    def test_session_with_faults(self, capsys):
+        assert (
+            main(
+                [
+                    "session", "--sites", "3", "--ops", "4", "--seed", "7",
+                    "--verify", "--faults", "--drop", "0.2", "--dup", "0.05",
+                    "--crash", "2:3.0:5.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "converged        : True" in out
+        assert "fifo respected   : True" in out
+        assert "retransmits=" in out
+        assert "recoveries=2" in out
+
+    def test_session_faults_flag_alone_enables_reliability(self, capsys):
+        assert main(["session", "--sites", "2", "--ops", "2", "--faults"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol: sent=" in out
+
+    def test_session_mesh_rejects_faults(self, capsys):
+        assert (
+            main(["session", "--arch", "mesh", "--sites", "2", "--ops", "1",
+                  "--faults"])
+            == 2
+        )
+        assert "only supported" in capsys.readouterr().err
+
+    def test_bad_crash_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["session", "--faults", "--crash", "2:3.0"])
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -118,10 +118,24 @@ class TestPayloadMeasurement:
         env = Envelope(1, 0, Delete(3, 2), timestamp_bytes=8)
         assert env.total_bytes() == 8 + 9 + 8
 
-    def test_envelope_ids_unique(self):
-        a = Envelope(0, 1, None)
-        b = Envelope(0, 1, None)
-        assert a.message_id != b.message_id
+    def test_envelope_ids_assigned_per_simulator(self):
+        """Message ids come from the simulator at send time, so two
+        sessions in one process draw identical id sequences (determinism)."""
+        from repro.net.channel import FIFOChannel, FixedLatency
+        from repro.net.simulator import Simulator
+
+        sequences = []
+        for _ in range(2):
+            sim = Simulator()
+            channel = FIFOChannel(sim, 0, 1, FixedLatency(0.01), lambda env: None)
+            ids = []
+            for _ in range(3):
+                env = Envelope(0, 1, None)
+                assert env.message_id is None
+                channel.send(env)
+                ids.append(env.message_id)
+            sequences.append(ids)
+        assert sequences[0] == sequences[1] == [0, 1, 2]
 
     def test_op_message_wrapper_not_pickled(self):
         """Editor wrappers are measured structurally (framing + inner op)."""
