@@ -172,7 +172,8 @@ class ReliabilityStats:
     out_of_order_held: int = 0
     dropped_while_crashed: int = 0
     lost_local_edits: int = 0
-    recoveries: int = 0  # clients: completed restarts; notifier: resyncs served
+    recoveries: int = 0  # clients only: completed crash restarts
+    resyncs_served: int = 0  # notifier only: recovery snapshots sent
 
 
 @dataclass
@@ -186,7 +187,6 @@ class _PeerLink:
     timer: Any = None  # pending retransmit event, if armed
     recv_next: int = 0  # next seq to release to the editor
     holdback: dict[int, Envelope] = field(default_factory=dict)
-    delivered: int = 0  # packets released to the editor, for the FIFO audit
 
 
 class ReliableEndpoint(SimProcess):
@@ -207,6 +207,12 @@ class ReliableEndpoint(SimProcess):
         self.reliability = reliability
         self.rel_stats = ReliabilityStats()
         self._links: dict[int, _PeerLink] = {}
+        # Audit trace: per source, the (epoch, seq) of every packet
+        # actually handed to the editor, in release order.  Deliberately
+        # not link state (and not cleared on crash): the in-order audit
+        # must survive link resets and stay independent of recv_next /
+        # holdback, the very mechanism it checks.
+        self._release_trace: dict[int, list[tuple[int, int]]] = {}
         self._crashed = False
 
     # -- sending ---------------------------------------------------------------
@@ -303,8 +309,10 @@ class ReliableEndpoint(SimProcess):
     def _release(self, link: _PeerLink, envelope: Envelope) -> None:
         """Hand one in-sequence packet's payload to the editor."""
         link.recv_next += 1
-        link.delivered += 1
         packet: ReliablePacket = envelope.payload
+        self._release_trace.setdefault(envelope.source, []).append(
+            (packet.epoch, packet.seq)
+        )
         self._handle_app_message(
             Envelope(
                 source=envelope.source,
@@ -351,13 +359,27 @@ class ReliableEndpoint(SimProcess):
         return link
 
     def delivered_in_order(self) -> bool:
-        """Audit: every released packet advanced ``recv_next`` by exactly 1.
+        """Audit: the editor received a gap-free in-order stream.
 
-        True iff, on every inbound link, the number of packets released
-        to the editor equals the contiguous sequence prefix -- i.e. the
-        reliability layer reconstructed a gap-free FIFO stream.
+        Replays the trace of ``(epoch, seq)`` pairs actually handed to
+        :meth:`_handle_app_message` (recorded at release time from the
+        packets themselves, not from the holdback machinery): per
+        source, epochs must never regress and each epoch's sequence
+        numbers must be exactly ``0, 1, 2, ...`` in order.  Any drop
+        leaking through, duplicate release, swap, or stale-epoch release
+        makes this False.
         """
-        return all(link.delivered == link.recv_next for link in self._links.values())
+        for trace in self._release_trace.values():
+            current_epoch, expected_seq = -1, 0
+            for epoch, seq in trace:
+                if epoch < current_epoch:
+                    return False
+                if epoch > current_epoch:
+                    current_epoch, expected_seq = epoch, 0
+                if seq != expected_seq:
+                    return False
+                expected_seq += 1
+        return True
 
     def _handle_app_message(self, envelope: Envelope) -> None:
         """Editor-level message handling; override in subclasses."""
@@ -913,7 +935,7 @@ class StarNotifier(ReliableEndpoint):
         base = self.sv.total() - own
         self.sent_to[site] = deque()
         self.acked[site] = base
-        self.rel_stats.recoveries += 1
+        self.rel_stats.resyncs_served += 1
         origin_clock = None
         if self.event_log is not None:
             origin_clock = self.event_log.site_clock(0)

@@ -150,17 +150,32 @@ def memory_comparison(n_values: Sequence[int]) -> list[MemoryComparison]:
 class FaultToleranceReport:
     """What the network did to a session vs. what the protocol absorbed.
 
-    The left column aggregates :class:`repro.net.faults.FaultStats` over
-    every channel (losses the *network* caused); the right aggregates
-    :class:`repro.editor.star.ReliabilityStats` over every endpoint (the
-    recovery work the protocol did).  A convergent session under faults
-    should show ``retransmits > 0`` whenever ``lost > 0``.
+    The network side aggregates :class:`repro.net.faults.FaultStats`
+    over every channel (losses the *network* caused); the protocol side
+    aggregates :class:`repro.editor.star.ReliabilityStats` over every
+    endpoint (the recovery work the protocol did).
+
+    Losses are split by packet class because only one class forces
+    recovery work: a lost sequenced *data* packet sits in its sender's
+    unacked window until retransmission delivers it, so a crash-free
+    convergent session shows ``retransmits > 0`` whenever ``lost > 0``.
+    A lost pure acknowledgement (``lost_acks``) needs no retransmission
+    -- any later cumulative ack heals it -- and a client crash voids the
+    crashed incarnation's unacked windows, so neither implies
+    retransmits.
+
+    One crash/restart cycle contributes 1 to ``recoveries`` (the
+    client's completed restart) and 1 to ``resyncs_served`` (the
+    recovery snapshot the notifier sent back); the two count the same
+    event from opposite ends and are reported separately.
     """
 
     # network side
     dropped: int
     duplicated: int
     outage_dropped: int
+    acks_dropped: int
+    acks_outage_dropped: int
     # protocol side
     sent: int
     retransmits: int
@@ -171,23 +186,29 @@ class FaultToleranceReport:
     dropped_while_crashed: int
     lost_local_edits: int
     recoveries: int
+    resyncs_served: int
 
     @property
     def lost(self) -> int:
-        """Messages the network destroyed (drops plus outage losses)."""
+        """Sequenced data packets the network destroyed."""
         return self.dropped + self.outage_dropped
+
+    @property
+    def lost_acks(self) -> int:
+        """Pure acknowledgements the network destroyed."""
+        return self.acks_dropped + self.acks_outage_dropped
 
     def summary(self) -> str:
         return (
             f"network: dropped={self.dropped} duplicated={self.duplicated} "
-            f"outage_dropped={self.outage_dropped}\n"
+            f"outage_dropped={self.outage_dropped} acks_lost={self.lost_acks}\n"
             f"protocol: sent={self.sent} retransmits={self.retransmits} "
             f"acks={self.acks_sent} dedup={self.duplicates_discarded} "
             f"stale_epoch={self.stale_epoch_discarded} "
             f"held_for_order={self.out_of_order_held}\n"
             f"crashes: dropped_while_down={self.dropped_while_crashed} "
             f"lost_local_edits={self.lost_local_edits} "
-            f"recoveries={self.recoveries}"
+            f"recoveries={self.recoveries} resyncs_served={self.resyncs_served}"
         )
 
 
@@ -208,6 +229,7 @@ def build_fault_report(fault_stats, rel_stats_list) -> FaultToleranceReport:
         "dropped_while_crashed": 0,
         "lost_local_edits": 0,
         "recoveries": 0,
+        "resyncs_served": 0,
     }
     for stats in rel_stats_list:
         for name in totals:
@@ -216,5 +238,7 @@ def build_fault_report(fault_stats, rel_stats_list) -> FaultToleranceReport:
         dropped=fault_stats.dropped,
         duplicated=fault_stats.duplicated,
         outage_dropped=fault_stats.outage_dropped,
+        acks_dropped=fault_stats.acks_dropped,
+        acks_outage_dropped=fault_stats.acks_outage_dropped,
         **totals,
     )

@@ -128,14 +128,28 @@ class FaultPlan:
 
 @dataclass
 class FaultStats:
-    """What the network did to one channel's traffic."""
+    """What the network did to one channel's traffic.
+
+    Sequenced data packets and pure acknowledgements (``kind == "ack"``,
+    unsequenced) are counted separately: a lost data packet must be
+    retransmitted, while a lost ack is healed by any later cumulative
+    ack without retransmission -- the distinction the fault-tolerance
+    invariants rest on.
+    """
 
     dropped: int = 0
     duplicated: int = 0
     outage_dropped: int = 0
+    acks_dropped: int = 0
+    acks_outage_dropped: int = 0
 
     def lost(self) -> int:
+        """Sequenced data packets the network destroyed."""
         return self.dropped + self.outage_dropped
+
+    def lost_acks(self) -> int:
+        """Pure acknowledgements the network destroyed."""
+        return self.acks_dropped + self.acks_outage_dropped
 
 
 class FaultyChannel(FIFOChannel):
@@ -166,11 +180,18 @@ class FaultyChannel(FIFOChannel):
 
     def send(self, envelope: Envelope) -> float:
         self._admit(envelope)  # the sender paid the wire cost either way
+        is_ack = envelope.kind == "ack"
         if self.faults.in_outage(self.sim.now):
-            self.fault_stats.outage_dropped += 1
+            if is_ack:
+                self.fault_stats.acks_outage_dropped += 1
+            else:
+                self.fault_stats.outage_dropped += 1
             return self.sim.now
         if self.rng.random() < self.faults.drop_p:
-            self.fault_stats.dropped += 1
+            if is_ack:
+                self.fault_stats.acks_dropped += 1
+            else:
+                self.fault_stats.dropped += 1
             return self.sim.now
         delivery = self._schedule_delivery(envelope)
         if self.rng.random() < self.faults.dup_p:

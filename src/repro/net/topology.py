@@ -75,6 +75,8 @@ class _BaseTopology:
                 agg.dropped += stats.dropped
                 agg.duplicated += stats.duplicated
                 agg.outage_dropped += stats.outage_dropped
+                agg.acks_dropped += stats.acks_dropped
+                agg.acks_outage_dropped += stats.acks_outage_dropped
         return agg
 
     def edge_count(self) -> int:

@@ -121,7 +121,8 @@ class TestCLI:
         assert "converged        : True" in out
         assert "fifo respected   : True" in out
         assert "retransmits=" in out
-        assert "recoveries=2" in out
+        assert "recoveries=1" in out
+        assert "resyncs_served=1" in out
 
     def test_session_faults_flag_alone_enables_reliability(self, capsys):
         assert main(["session", "--sites", "2", "--ops", "2", "--faults"]) == 0
