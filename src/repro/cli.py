@@ -21,8 +21,7 @@ import sys
 from typing import Sequence
 
 from repro.analysis.consistency import check_divergence
-from repro.editor.mesh import MeshSession
-from repro.editor.star import StarSession
+from repro.editor import MeshSession, StarSession
 from repro.metrics.accounting import memory_comparison, overhead_sweep
 from repro.net.channel import JitterLatency
 from repro.viz.spacetime import render_star_topology

@@ -15,8 +15,25 @@ These are real implementations, used both as correctness oracles (the
 compressed scheme's concurrency verdicts must agree with full vector
 clocks) and as baselines in the overhead benchmarks (CLAIM-OVH /
 CLAIM-MEM in DESIGN.md).
+
+:mod:`repro.clocks.base` defines :class:`ClockProtocol`, the uniform
+tick/timestamp/merge/compare/storage interface every family implements
+(via a thin adapter per family), and :data:`CLOCK_FAMILIES`, the
+registry the conformance suite iterates over.
 """
 
+from repro.clocks.base import (
+    CLOCK_FAMILIES,
+    ClockFamily,
+    ClockProtocol,
+    CompressedClockSite,
+    FZClockSite,
+    LamportClockSite,
+    MatrixClockSite,
+    SKClockSite,
+    VectorClockSite,
+)
+from repro.clocks.dimension import ProjectedClockSite
 from repro.clocks.lamport import LamportClock
 from repro.clocks.vector import Ordering, VectorClock, compare, concurrent, happened_before
 from repro.clocks.sk import SKMessage, SKProcess
@@ -37,4 +54,14 @@ __all__ = [
     "Event",
     "EventKind",
     "EventLog",
+    "ClockProtocol",
+    "ClockFamily",
+    "CLOCK_FAMILIES",
+    "VectorClockSite",
+    "MatrixClockSite",
+    "SKClockSite",
+    "FZClockSite",
+    "LamportClockSite",
+    "CompressedClockSite",
+    "ProjectedClockSite",
 ]

@@ -115,7 +115,7 @@ class EventLog:
         """Merge a state-transfer's causal clock into ``site``'s clock.
 
         A snapshot (late join or crash recovery, see
-        :class:`repro.editor.star.SnapshotMessage`) delivers the sender's
+        :class:`repro.editor.messages.SnapshotMessage`) delivers the sender's
         entire causal history in bulk; merging the clock captured at
         snapshot time keeps this reference vector-clock run -- and hence
         the concurrency oracle -- exact across the transfer.

@@ -36,6 +36,10 @@ class LamportClock:
         self.time = max(self.time, message_time) + 1
         return self.time
 
+    def storage_ints(self) -> int:
+        """Resident integers a site pays to hold this clock: 1."""
+        return 1
+
 
 @dataclass(frozen=True, order=True)
 class TotalOrderKey:

@@ -93,6 +93,10 @@ class VectorClock:
         """Wire size when serialised as fixed-width integers."""
         return int_width * len(self.counts)
 
+    def storage_ints(self) -> int:
+        """Resident integers a site pays to hold this clock: N."""
+        return len(self.counts)
+
     def __repr__(self) -> str:
         return f"VC{list(self.counts)}"
 

@@ -106,7 +106,7 @@ class NotifierStateVector:
 
         Late joiners receive the document state out of band (a snapshot),
         so their count starts at zero; see
-        :meth:`repro.editor.star.StarNotifier.admit_client`.
+        :meth:`repro.editor.star_notifier.StarNotifier.admit_client`.
         """
         self.counts.append(0)
         self.n_sites += 1

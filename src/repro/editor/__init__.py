@@ -3,23 +3,53 @@
 * :mod:`repro.editor.star` -- the Web-based REDUCE architecture of the
   paper: N client sites and a central notifier (site 0), compressed
   2-element timestamps on every message, transformation at both ends,
-  concurrency detection via formulas (5) and (7).
+  concurrency detection via formulas (5) and (7).  The roles live in
+  :mod:`repro.editor.star_client` / :mod:`repro.editor.star_notifier`,
+  the wire formats in :mod:`repro.editor.messages`.
 * :mod:`repro.editor.mesh` -- the fully-distributed baseline (the
   original REDUCE deployment): full N-element vector clocks, causal
   broadcast, and GOT-style transformation over a canonical total order.
 
 Both editors are generic over the :class:`repro.ot.types.OTType`
 contract, record ground-truth event logs, and account every byte on the
-wire for the benchmarks.
+wire for the benchmarks.  They share the session layer
+(:mod:`repro.session`) and the transport layer
+(:mod:`repro.net.reliability`); this package re-exports the full
+editor-facing surface of both for convenience and backwards
+compatibility.
 """
 
-from repro.editor.star import StarClient, StarNotifier, StarSession
-from repro.editor.mesh import MeshSession, MeshSite
+from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
+from repro.editor.mesh import MeshOp, MeshSession, MeshSite, got_transform
+from repro.editor.star import StarSession
+from repro.editor.star_client import StarClient, UndoError, execute_remote
+from repro.editor.star_notifier import PendingOp, StarNotifier
+from repro.net.reliability import (
+    ReliabilityConfig,
+    ReliabilityStats,
+    ReliablePacket,
+    ReliableEndpoint,
+)
+from repro.session import CheckRecord, ConsistencyError
 
 __all__ = [
+    "CheckRecord",
+    "ConsistencyError",
+    "MeshOp",
+    "MeshSession",
+    "MeshSite",
+    "OpMessage",
+    "PendingOp",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliablePacket",
+    "ReliableEndpoint",
+    "ResyncRequest",
+    "SnapshotMessage",
     "StarClient",
     "StarNotifier",
     "StarSession",
-    "MeshSite",
-    "MeshSession",
+    "UndoError",
+    "execute_remote",
+    "got_transform",
 ]

@@ -34,12 +34,12 @@ from typing import Callable, Sequence
 
 from repro.clocks.vector import Ordering, VectorClock, compare
 from repro.net.channel import LatencyModel
-from repro.net.process import SimProcess
 from repro.net.simulator import Simulator
 from repro.net.topology import MeshTopology
 from repro.net.transport import Envelope
 from repro.ot.operations import Operation
 from repro.ot.transform import exclusion_transform, inclusion_transform
+from repro.session import EditorEndpoint, HoldbackQueue, SessionBase
 
 
 @dataclass(frozen=True)
@@ -138,8 +138,17 @@ def got_transform(
     return op
 
 
-class MeshSite(SimProcess):
-    """One site of the fully-distributed editor."""
+class MeshSite(EditorEndpoint):
+    """One site of the fully-distributed editor.
+
+    An :class:`~repro.session.EditorEndpoint` over the raw transport
+    (the mesh baseline runs on perfect channels); causal-order delivery
+    is an *editor-level* hold-back, kept in the same shared
+    :class:`~repro.session.HoldbackQueue` the reliability transport
+    uses -- streams are sender sites, sequence numbers are the sender's
+    per-site generation indices (``record.vc[record.site]``), and the
+    causal gate checks the remaining vector components.
+    """
 
     def __init__(
         self,
@@ -156,7 +165,7 @@ class MeshSite(SimProcess):
         self.vc = VectorClock.zero(n_sites)
         self.seq = 0
         self.log: list[MeshOp] = []  # delivered, uncompacted ops, canonical order
-        self.hold_back: list[MeshOp] = []  # awaiting causal predecessors
+        self.hold_back: HoldbackQueue[MeshOp] = HoldbackQueue()
         self.delivered_ids: list[str] = []
         self.compacted_ops = 0
         # Knowledge vectors: known_vc[j] = the latest generation clock
@@ -183,30 +192,34 @@ class MeshSite(SimProcess):
 
     # -- receiving ------------------------------------------------------------
 
-    def on_message(self, envelope: Envelope) -> None:
+    def _handle_app_message(self, envelope: Envelope) -> None:
         record: MeshOp = envelope.payload
-        self.hold_back.append(record)
+        # Stream = sender site, seq = the sender's generation index for
+        # this operation (``record.vc[record.site] == record.seq``).
+        self.hold_back.hold(record.site, record.seq, record)
         self._drain_hold_back()
 
-    def _deliverable(self, record: MeshOp) -> bool:
-        """Causal-order delivery condition for broadcast."""
-        for j in range(self.n_sites):
-            expected = self.vc[j] + 1 if j == record.site else self.vc[j]
-            if record.vc[j] > expected:
-                return False
-        return record.vc[record.site] == self.vc[record.site] + 1
+    def _causally_ready(self, record: MeshOp) -> bool:
+        """The cross-sender half of the causal delivery condition.
+
+        The per-sender half (``record.vc[record.site]`` is exactly the
+        next index from that site) is what the hold-back queue's
+        sequence gating enforces; this checks the rest: every *other*
+        dependency is already delivered locally.
+        """
+        return all(
+            record.vc[j] <= self.vc[j]
+            for j in range(self.n_sites)
+            if j != record.site
+        )
 
     def _drain_hold_back(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
-            for record in list(self.hold_back):
-                if self._deliverable(record):
-                    self.hold_back.remove(record)
-                    self.vc = self.vc.merge(record.vc)
-                    self.known_vc[record.site] = record.vc
-                    self._integrate(record)
-                    progressed = True
+        for record in self.hold_back.drain(
+            lambda site: self.vc[site] + 1, self._causally_ready
+        ):
+            self.vc = self.vc.merge(record.vc)
+            self.known_vc[record.site] = record.vc
+            self._integrate(record)
 
     # -- canonical replay -----------------------------------------------------
 
@@ -285,10 +298,14 @@ class MeshSite(SimProcess):
 
     def clock_storage_ints(self) -> int:
         """Resident clock-state integers: N at every site."""
-        return self.n_sites
+        return self.vc.storage_ints()
+
+    def holdback_pending(self) -> bool:
+        """Causal hold-back is editor-level here: quiescence must see it."""
+        return bool(self.hold_back)
 
 
-class MeshSession:
+class MeshSession(SessionBase):
     """A fully-distributed editing session over a mesh topology."""
 
     def __init__(
@@ -305,21 +322,8 @@ class MeshSession:
         ]
         self.topology = MeshTopology(self.sim, self.sites, latency_factory)
 
+    def endpoints(self) -> Sequence[MeshSite]:
+        return self.sites
+
     def generate_at(self, site: int, op: Operation, at: float) -> None:
         self.sim.schedule(at, lambda: self.sites[site].generate(op))
-
-    def run(self, until: float | None = None) -> int:
-        return self.sim.run(until=until)
-
-    def documents(self) -> list[str]:
-        return [site.document for site in self.sites]
-
-    def converged(self) -> bool:
-        docs = self.documents()
-        return all(doc == docs[0] for doc in docs[1:])
-
-    def quiescent(self) -> bool:
-        return self.sim.pending_events == 0 and not any(s.hold_back for s in self.sites)
-
-    def wire_stats(self):
-        return self.topology.total_stats()

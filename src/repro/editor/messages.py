@@ -1,0 +1,56 @@
+"""Wire formats of the star editor (the causality layer's vocabulary).
+
+These dataclasses are what travels between clients and the notifier --
+below them sits the transport layer (:mod:`repro.net.reliability`),
+above them the integration logic (:mod:`repro.editor.star_client` /
+:mod:`repro.editor.star_notifier`).  They are deliberately free of
+behaviour so the codec (:mod:`repro.net.codec`) and both editor roles
+can share them without depending on each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.timestamp import CompressedTimestamp
+
+
+@dataclass(frozen=True)
+class OpMessage:
+    """The wire format of a propagated operation."""
+
+    op: Any
+    timestamp: CompressedTimestamp
+    origin_site: int  # site the operation was originally generated at
+    op_id: str
+    source_op_id: str | None = None  # for notifier outputs: the input op
+
+
+@dataclass(frozen=True)
+class SnapshotMessage:
+    """State transfer for a late-joining or recovering client.
+
+    ``base_count`` is the number of notifier broadcasts the destination
+    would have received so far (``sum_{j != dest} SV_0[j]``); the client
+    seeds ``SV_i[1]`` with it so the compressed-timestamp arithmetic
+    (formulas 1-2, 5, 7) stays exact: the snapshot "delivers" those
+    operations in bulk, and the FIFO channel guarantees every later
+    broadcast arrives after it.  For crash recovery ``own_count``
+    additionally restores ``SV_i[2]`` (``SV_0[dest]``: the destination's
+    operations the notifier had executed), and ``origin_clock`` carries
+    the notifier's ground-truth vector clock at snapshot time so the
+    oracle stays exact across the state transfer.
+    """
+
+    document: Any
+    base_count: int
+    own_count: int = 0
+    origin_clock: Any = None
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """First message of a restarted client's new epoch: "send me state"."""
+
+    epoch: int

@@ -1,23 +1,24 @@
 """The star-topology group editor (Web-based REDUCE, paper Sections 2-4).
 
-Roles
------
-* :class:`StarClient` -- a collaborating site ``i in 1..N``.  Executes
-  local operations immediately (high responsiveness), timestamps them
-  with its 2-element state vector ``SV_i`` and sends them to the
-  notifier.  Incoming notifier operations are checked for concurrency
-  against the history buffer with formula (5), transformed against the
-  concurrent (i.e. not-yet-acknowledged local) operations, and executed.
-* :class:`StarNotifier` -- site 0.  Maintains the full ``SV_0``; on
-  receiving an operation from site ``x`` it determines the concurrent
-  history entries with formula (7), transforms the operation against
-  them, executes it, and broadcasts the *transformed* form to every
-  other site with a per-destination compressed timestamp (formulas
-  1-2).  This redefinition is what collapses the causality relation to
-  two dimensions.
-* :class:`StarSession` -- wires clients and notifier over
-  :class:`repro.net.topology.StarTopology` and exposes experiment
-  helpers (run, convergence check, wire statistics, event log).
+This module is the session layer of the star stack: it wires the two
+roles over :class:`repro.net.topology.StarTopology` and exposes the
+experiment surface (run, convergence check, wire statistics, event log).
+The stack it assembles, bottom to top:
+
+* transport -- :mod:`repro.net.reliability`: raw FIFO pass-through on a
+  perfect network, or the sequence-numbered / retransmitting /
+  epoch-fenced reliability protocol when faults are injected.  Editors
+  *own* a transport; none inherits one.
+* causality -- the compressed state vectors and concurrency formulas
+  (:mod:`repro.core`), plus the wire formats
+  (:mod:`repro.editor.messages`).
+* integration -- :class:`repro.editor.star_client.StarClient` (sites
+  ``1..N``: execute locally, timestamp with ``SV_i``, formula (5)) and
+  :class:`repro.editor.star_notifier.StarNotifier` (site 0: full
+  ``SV_0``, formula (7), transform and re-broadcast with
+  per-destination compressed timestamps).
+* session -- :class:`StarSession` below, a
+  :class:`repro.session.SessionBase`.
 
 Transformation discipline
 -------------------------
@@ -43,925 +44,63 @@ Reliability under faults
 ------------------------
 The formulas require FIFO channels; a faulty network (see
 :mod:`repro.net.faults`) may lose or duplicate messages and clients may
-crash.  When a session runs with a fault plan, every process speaks a
-reliability protocol layered below the editor logic
-(:class:`ReliableEndpoint`): messages travel in sequence-numbered
-:class:`ReliablePacket` envelopes, the sender retransmits unacknowledged
-packets with exponential backoff, and the receiver deduplicates by
-``(source, seq)`` and releases packets to the editor strictly in
-sequence order -- reconstructing exactly the FIFO stream formulas (5)
-and (7) assume.  A crashed client loses all volatile state; on restart
-it opens a new *epoch* (stale in-flight traffic from the previous
-incarnation is discarded by epoch) and resynchronises through the
-existing :class:`SnapshotMessage` path.
+crash.  When a session runs with a fault plan, every endpoint owns a
+:class:`repro.net.reliability.ReliableEndpoint` transport: messages
+travel in sequence-numbered
+:class:`~repro.net.reliability.ReliablePacket` envelopes, the sender
+retransmits unacknowledged packets with exponential backoff, and the
+receiver deduplicates by ``(source, seq)`` and releases packets to the
+editor strictly in sequence order -- reconstructing exactly the FIFO
+stream formulas (5) and (7) assume.  A crashed client loses all volatile
+state; on restart it opens a new *epoch* (stale in-flight traffic from
+the previous incarnation is discarded by epoch) and resynchronises
+through the existing :class:`~repro.editor.messages.SnapshotMessage`
+path.
+
+For backwards compatibility this module re-exports the full
+pre-refactor public surface (messages, reliability classes, roles).
 """
 
 from __future__ import annotations
 
-import itertools
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.clocks.events import EventLog
-from repro.clocks.vector import concurrent as vc_concurrent
-from repro.core.concurrency import client_concurrent, notifier_concurrent
-from repro.core.history import HistoryBuffer, HistoryEntry
-from repro.core.state_vector import ClientStateVector, NotifierStateVector
-from repro.core.timestamp import CompressedTimestamp, OriginKind
+from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
+from repro.editor.star_client import StarClient, UndoError, execute_remote
+from repro.editor.star_notifier import PendingOp, StarNotifier
 from repro.net.channel import LatencyModel
 from repro.net.faults import FaultPlan
-from repro.net.process import SimProcess
+from repro.net.reliability import (
+    ReliabilityConfig,
+    ReliabilityStats,
+    ReliablePacket,
+    ReliableEndpoint,
+)
 from repro.net.simulator import Simulator
 from repro.net.topology import StarTopology
-from repro.net.transport import Envelope
-from repro.ot.types import get_type
-
-
-class ConsistencyError(AssertionError):
-    """Raised when a compressed verdict disagrees with the oracle."""
-
-
-class UndoError(RuntimeError):
-    """Raised when the requested undo is not available."""
-
-
-@dataclass(frozen=True)
-class OpMessage:
-    """The wire format of a propagated operation."""
-
-    op: Any
-    timestamp: CompressedTimestamp
-    origin_site: int  # site the operation was originally generated at
-    op_id: str
-    source_op_id: str | None = None  # for notifier outputs: the input op
-
-
-@dataclass(frozen=True)
-class SnapshotMessage:
-    """State transfer for a late-joining or recovering client.
-
-    ``base_count`` is the number of notifier broadcasts the destination
-    would have received so far (``sum_{j != dest} SV_0[j]``); the client
-    seeds ``SV_i[1]`` with it so the compressed-timestamp arithmetic
-    (formulas 1-2, 5, 7) stays exact: the snapshot "delivers" those
-    operations in bulk, and the FIFO channel guarantees every later
-    broadcast arrives after it.  For crash recovery ``own_count``
-    additionally restores ``SV_i[2]`` (``SV_0[dest]``: the destination's
-    operations the notifier had executed), and ``origin_clock`` carries
-    the notifier's ground-truth vector clock at snapshot time so the
-    oracle stays exact across the state transfer.
-    """
-
-    document: Any
-    base_count: int
-    own_count: int = 0
-    origin_clock: Any = None
-
-
-@dataclass(frozen=True)
-class ResyncRequest:
-    """First message of a restarted client's new epoch: "send me state"."""
-
-    epoch: int
-
-
-@dataclass(frozen=True)
-class ReliablePacket:
-    """The reliability envelope wrapped around every editor message.
-
-    ``seq`` numbers the sender's stream to this destination (``-1`` for
-    pure acknowledgements, which are unsequenced); ``epoch`` identifies
-    the client incarnation the packet belongs to; ``ack`` is cumulative:
-    the highest seq the sender has received *in order* from the
-    destination (``-1`` if none).
-    """
-
-    seq: int
-    epoch: int
-    ack: int
-    payload: Any = None
-
-    def __post_init__(self) -> None:
-        if self.seq < -1 or self.ack < -1 or self.epoch < 0:
-            raise ValueError(f"malformed packet: {self}")
-
-
-@dataclass(frozen=True)
-class ReliabilityConfig:
-    """Retransmission parameters of the reliability protocol."""
-
-    base_rto: float = 0.5  # initial retransmit timeout (virtual time)
-    max_rto: float = 8.0  # backoff ceiling
-    backoff: float = 2.0  # timeout multiplier per retry round
-
-    def __post_init__(self) -> None:
-        if self.base_rto <= 0 or self.max_rto < self.base_rto or self.backoff < 1.0:
-            raise ValueError(f"malformed reliability config: {self}")
-
-
-@dataclass
-class ReliabilityStats:
-    """Per-endpoint protocol counters (aggregated by the fault report)."""
-
-    sent: int = 0
-    retransmits: int = 0
-    acks_sent: int = 0
-    duplicates_discarded: int = 0
-    stale_epoch_discarded: int = 0
-    out_of_order_held: int = 0
-    dropped_while_crashed: int = 0
-    lost_local_edits: int = 0
-    recoveries: int = 0  # clients only: completed crash restarts
-    resyncs_served: int = 0  # notifier only: recovery snapshots sent
-
-
-@dataclass
-class _PeerLink:
-    """One endpoint's reliability state toward one peer."""
-
-    epoch: int = 0
-    send_seq: int = 0  # next outgoing seq
-    unacked: dict[int, tuple[Any, int, str]] = field(default_factory=dict)
-    rto: float = 0.0
-    timer: Any = None  # pending retransmit event, if armed
-    recv_next: int = 0  # next seq to release to the editor
-    holdback: dict[int, Envelope] = field(default_factory=dict)
-
-
-class ReliableEndpoint(SimProcess):
-    """A :class:`SimProcess` with an optional reliability layer.
-
-    With ``reliability=None`` (the default everywhere faults are not
-    injected) ``send``/``on_message`` pass straight through and nothing
-    below this line runs -- the perfect-network behaviour and wire
-    accounting are byte-for-byte unchanged.  With a config, every
-    outgoing message is sequenced, retransmitted until acknowledged and
-    released to :meth:`_handle_app_message` strictly in order.
-    """
-
-    def __init__(
-        self, sim: Simulator, pid: int, reliability: ReliabilityConfig | None = None
-    ) -> None:
-        super().__init__(sim, pid)
-        self.reliability = reliability
-        self.rel_stats = ReliabilityStats()
-        self._links: dict[int, _PeerLink] = {}
-        # Audit trace: per source, the (epoch, seq) of every packet
-        # actually handed to the editor, in release order.  Deliberately
-        # not link state (and not cleared on crash): the in-order audit
-        # must survive link resets and stay independent of recv_next /
-        # holdback, the very mechanism it checks.
-        self._release_trace: dict[int, list[tuple[int, int]]] = {}
-        self._crashed = False
-
-    # -- sending ---------------------------------------------------------------
-
-    def _link(self, peer: int) -> _PeerLink:
-        if peer not in self._links:
-            rto = self.reliability.base_rto if self.reliability else 0.0
-            self._links[peer] = _PeerLink(rto=rto)
-        return self._links[peer]
-
-    def send(self, dest: int, payload: Any, timestamp_bytes: int = 0, kind: str = "op") -> None:
-        if self.reliability is None:
-            super().send(dest, payload, timestamp_bytes, kind)
-            return
-        link = self._link(dest)
-        seq = link.send_seq
-        link.send_seq += 1
-        link.unacked[seq] = (payload, timestamp_bytes, kind)
-        self.rel_stats.sent += 1
-        self._transmit(dest, link, seq, payload, timestamp_bytes, kind)
-        self._arm_timer(dest, link)
-
-    def _transmit(
-        self, dest: int, link: _PeerLink, seq: int, payload: Any, ts_bytes: int, kind: str
-    ) -> None:
-        packet = ReliablePacket(seq=seq, epoch=link.epoch, ack=link.recv_next - 1, payload=payload)
-        SimProcess.send(self, dest, packet, timestamp_bytes=ts_bytes, kind=kind)
-
-    def _arm_timer(self, dest: int, link: _PeerLink) -> None:
-        if link.timer is None and link.unacked:
-            link.timer = self.sim.schedule_after(link.rto, lambda: self._on_timer(dest, link))
-
-    def _on_timer(self, dest: int, link: _PeerLink) -> None:
-        link.timer = None
-        # The link may have been replaced by a crash or an epoch bump
-        # since this timer was armed; a stale timer must not touch it.
-        if self._crashed or self._links.get(dest) is not link or not link.unacked:
-            return
-        for seq in sorted(link.unacked):
-            payload, ts_bytes, kind = link.unacked[seq]
-            self.rel_stats.retransmits += 1
-            self._transmit(dest, link, seq, payload, ts_bytes, kind)
-        link.rto = min(link.rto * self.reliability.backoff, self.reliability.max_rto)
-        self._arm_timer(dest, link)
-
-    # -- receiving -------------------------------------------------------------
-
-    def on_message(self, envelope: Envelope) -> None:
-        if self._crashed:
-            self.rel_stats.dropped_while_crashed += 1
-            return
-        payload = envelope.payload
-        if self.reliability is None or not isinstance(payload, ReliablePacket):
-            self._handle_app_message(envelope)
-            return
-        self._receive_packet(envelope, payload)
-
-    def _receive_packet(self, envelope: Envelope, packet: ReliablePacket) -> None:
-        source = envelope.source
-        link = self._link(source)
-        if packet.epoch < link.epoch:
-            self.rel_stats.stale_epoch_discarded += 1
-            return
-        if packet.epoch > link.epoch:
-            # The peer restarted into a new incarnation: everything from
-            # the old one -- send window, reorder buffer -- is void.
-            link = self._reset_link(source, packet.epoch)
-        if packet.ack >= 0:
-            self._process_ack(source, link, packet.ack)
-        if packet.seq < 0:  # pure acknowledgement
-            return
-        if packet.seq < link.recv_next:
-            # Duplicate of something already released: re-ack so the
-            # sender stops retransmitting (its ack may have been lost).
-            self.rel_stats.duplicates_discarded += 1
-            self._send_ack(source, link)
-            return
-        if packet.seq > link.recv_next:
-            # A gap: hold the packet back until retransmission fills it.
-            # Releasing it now would reorder the stream and break the
-            # FIFO precondition of formulas (5) and (7).
-            if packet.seq in link.holdback:
-                self.rel_stats.duplicates_discarded += 1
-            else:
-                link.holdback[packet.seq] = envelope
-                self.rel_stats.out_of_order_held += 1
-            self._send_ack(source, link)
-            return
-        self._release(link, envelope)
-        while link.recv_next in link.holdback:
-            self._release(link, link.holdback.pop(link.recv_next))
-        self._send_ack(source, link)
-
-    def _release(self, link: _PeerLink, envelope: Envelope) -> None:
-        """Hand one in-sequence packet's payload to the editor."""
-        link.recv_next += 1
-        packet: ReliablePacket = envelope.payload
-        self._release_trace.setdefault(envelope.source, []).append(
-            (packet.epoch, packet.seq)
-        )
-        self._handle_app_message(
-            Envelope(
-                source=envelope.source,
-                dest=envelope.dest,
-                payload=packet.payload,
-                timestamp_bytes=envelope.timestamp_bytes,
-                kind=envelope.kind,
-                message_id=envelope.message_id,
-            )
-        )
-
-    def _send_ack(self, dest: int, link: _PeerLink) -> None:
-        self.rel_stats.acks_sent += 1
-        packet = ReliablePacket(seq=-1, epoch=link.epoch, ack=link.recv_next - 1)
-        SimProcess.send(self, dest, packet, timestamp_bytes=0, kind="ack")
-
-    def _process_ack(self, dest: int, link: _PeerLink, ack: int) -> None:
-        acked = [seq for seq in link.unacked if seq <= ack]
-        for seq in acked:
-            del link.unacked[seq]
-        if acked:
-            link.rto = self.reliability.base_rto  # progress: reset backoff
-            # Restart the retransmit clock: the surviving packets were all
-            # sent more recently than the one just acknowledged, so the
-            # old deadline would fire spuriously (a full RTO must elapse
-            # *without progress* before we suspect loss).
-            if link.timer is not None:
-                self.sim.cancel(link.timer)
-                link.timer = None
-            self._arm_timer(dest, link)
-        elif not link.unacked and link.timer is not None:
-            self.sim.cancel(link.timer)
-            link.timer = None
-
-    def _reset_link(self, peer: int, epoch: int) -> _PeerLink:
-        """Void the link state and start the given epoch from seq 0."""
-        link = _PeerLink(
-            epoch=epoch, rto=self.reliability.base_rto if self.reliability else 0.0
-        )
-        old = self._links.get(peer)
-        if old is not None and old.timer is not None:
-            self.sim.cancel(old.timer)
-        self._links[peer] = link
-        return link
-
-    def delivered_in_order(self) -> bool:
-        """Audit: the editor received a gap-free in-order stream.
-
-        Replays the trace of ``(epoch, seq)`` pairs actually handed to
-        :meth:`_handle_app_message` (recorded at release time from the
-        packets themselves, not from the holdback machinery): per
-        source, epochs must never regress and each epoch's sequence
-        numbers must be exactly ``0, 1, 2, ...`` in order.  Any drop
-        leaking through, duplicate release, swap, or stale-epoch release
-        makes this False.
-        """
-        for trace in self._release_trace.values():
-            current_epoch, expected_seq = -1, 0
-            for epoch, seq in trace:
-                if epoch < current_epoch:
-                    return False
-                if epoch > current_epoch:
-                    current_epoch, expected_seq = epoch, 0
-                if seq != expected_seq:
-                    return False
-                expected_seq += 1
-        return True
-
-    def _handle_app_message(self, envelope: Envelope) -> None:
-        """Editor-level message handling; override in subclasses."""
-        raise NotImplementedError
-
-
-@dataclass
-class PendingOp:
-    """A broadcast operation awaiting acknowledgement by one destination.
-
-    Each destination holds its **own** record: the form evolves by
-    inclusion transformation against that destination's incoming
-    operations only, keeping the server-to-destination transformation
-    path context-valid (the Jupiter bridge invariant).  Sharing one
-    object across destinations would let one client's traffic corrupt
-    another's path.
-    """
-
-    op: Any
-    op_id: str
-    origin_site: int
-
-
-@dataclass
-class CheckRecord:
-    """One concurrency check, for diagnostics and Fig. 3 assertions."""
-
-    site: int
-    new_op_id: str
-    buffered_op_id: str
-    verdict: bool
-    new_timestamp: list[int]
-    buffered_timestamp: list[int]
-
-
-
-def _execute_remote(ot: Any, state: Any, op: Any, transform_enabled: bool) -> Any:
-    """Execute a remote operation, best-effort when transformation is off.
-
-    The transformation-off mode exists to reproduce the paper's Fig. 2
-    failure behaviour; a naive replica clamps out-of-range positions
-    instead of crashing (see :func:`repro.ot.operations.apply_clamped`).
-    """
-    if transform_enabled:
-        return ot.apply(state, op)
-    from repro.ot.operations import Operation, apply_clamped
-
-    if isinstance(op, Operation) and isinstance(state, str):
-        return apply_clamped(state, op)
-    return ot.apply(state, op)
-
-
-class StarClient(ReliableEndpoint):
-    """A collaborating site ``i != 0``."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        site_id: int,
-        ot_type_name: str = "text-positional",
-        initial_state: Any = None,
-        event_log: EventLog | None = None,
-        verify_with_oracle: bool = False,
-        transform_enabled: bool = True,
-        record_checks: bool = True,
-        joining: bool = False,
-        reliability: ReliabilityConfig | None = None,
-    ) -> None:
-        if site_id <= 0:
-            raise ValueError(f"client site ids are 1..N, got {site_id}")
-        super().__init__(sim, site_id, reliability)
-        self.ot = get_type(ot_type_name)
-        self.document = self.ot.initial() if initial_state is None else initial_state
-        self.sv = ClientStateVector(site_id)
-        self.hb = HistoryBuffer()
-        # Local operations not yet reflected in a notifier timestamp; each
-        # element is the HistoryEntry so re-transformation updates the HB.
-        # Acknowledgement pops from the left on every arrival: a deque.
-        self.pending: deque[HistoryEntry] = deque()
-        self.event_log = event_log
-        self.verify_with_oracle = verify_with_oracle
-        self.transform_enabled = transform_enabled
-        # Diagnostic trace of every concurrency check.  O(ops * HB) memory:
-        # keep it on for scenario replays and tests, off for long sessions.
-        self.record_checks = record_checks
-        self.checks: list[CheckRecord] = []
-        self.executed_op_ids: list[str] = []
-        # Late joiners start inactive and are activated by the snapshot.
-        self.active = not joining
-        # Per-client counter: op ids must not leak across sessions in one
-        # process, or replays stop being reproducible.  Survives crashes
-        # (ids are ground-truth bookkeeping, not volatile editor state).
-        self._op_ids = itertools.count(1)
-        # Undo bookkeeping, independent of the HB so garbage collection
-        # cannot take a legitimately undoable operation away.
-        self._last_local_entry: HistoryEntry | None = None
-        self._last_exec_was_local = False
-        self.crash_count = 0
-        self._recovering = False
-
-    # -- local editing -------------------------------------------------------
-
-    def generate(self, op: Any, op_id: str | None = None) -> str | None:
-        """Generate, execute and propagate a local operation.
-
-        Returns the operation id.  Per the paper: execute immediately,
-        increment ``SV_i[2]``, timestamp with the current ``SV_i``,
-        propagate to site 0, and buffer in the local HB.  While the
-        client is crashed or awaiting its recovery snapshot the edit is
-        dropped (returns ``None``).
-        """
-        if not self.active:
-            if self._crashed or self._recovering:
-                # A user edit during an outage is simply lost, like
-                # keystrokes into a dead terminal; count it and move on.
-                self.rel_stats.lost_local_edits += 1
-                return None
-            raise RuntimeError(
-                f"site {self.pid} has not received its join snapshot yet"
-            )
-        op_id = op_id or f"c{self.pid}_{next(self._op_ids)}"
-        inverse = None
-        invert = getattr(self.ot, "invert", None)
-        if invert is not None:
-            try:
-                inverse = invert(self.document, op)
-            except (TypeError, ValueError):
-                inverse = None  # op shape the type cannot invert
-        self.document = self.ot.apply(self.document, op)
-        self.sv.record_local_execution()
-        ts = self.sv.timestamp()
-        entry = HistoryEntry(
-            op=op,
-            timestamp=ts,
-            origin_site=self.pid,
-            origin_kind=OriginKind.LOCAL,
-            op_id=op_id,
-            executed_at=self.sim.now,
-            inverse=inverse,
-        )
-        self.hb.append(entry)
-        self.pending.append(entry)
-        self.executed_op_ids.append(op_id)
-        self._last_local_entry = entry
-        self._last_exec_was_local = True
-        if self.event_log is not None:
-            self.event_log.generate(self.pid, op_id)
-        message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
-        self.send(0, message, timestamp_bytes=ts.size_bytes())
-        return op_id
-
-    # -- receiving from the notifier ------------------------------------------
-
-    def _handle_app_message(self, envelope: Envelope) -> None:
-        if isinstance(envelope.payload, SnapshotMessage):
-            self._install_snapshot(envelope.payload)
-            return
-        if not self.active:
-            raise ConsistencyError(
-                f"site {self.pid} received an operation before its snapshot "
-                "(FIFO violated?)"
-            )
-        message: OpMessage = envelope.payload
-        ts = message.timestamp
-        # The full formula-(5) sweep over the HB is O(|HB|) per arrival
-        # and only needed when recording or oracle-verifying checks; the
-        # FIFO analysis (see _concurrency_pass) proves the concurrent
-        # set equals the unacknowledged-pending set, which the fast path
-        # uses directly.  The slow path cross-checks the two.
-        diagnostics = self.record_checks or self.verify_with_oracle
-        concurrent_entries = self._concurrency_pass(message) if diagnostics else None
-        # FIFO acknowledgement: T[2] local operations are now reflected
-        # in the notifier's state; they stop being "pending".
-        while self.pending and self.pending[0].timestamp.second <= ts.second:
-            self.pending.popleft()
-        if self.transform_enabled and concurrent_entries is not None:
-            expected = [entry.op_id for entry in self.pending]
-            actual = [entry.op_id for entry in concurrent_entries]
-            if expected != actual:
-                raise ConsistencyError(
-                    f"site {self.pid}: formula (5) concurrent set {actual} != "
-                    f"pending set {expected} for {message.op_id}"
-                )
-        new_op = message.op
-        if self.transform_enabled:
-            for entry in self.pending:
-                new_op, updated = self.ot.transform(
-                    new_op, entry.op, message.origin_site < entry.origin_site
-                )
-                entry.op = updated
-        self.document = _execute_remote(
-            self.ot, self.document, new_op, self.transform_enabled
-        )
-        self.sv.record_remote_execution()
-        self.hb.append(
-            HistoryEntry(
-                op=new_op,
-                timestamp=ts,
-                origin_site=message.origin_site,
-                origin_kind=OriginKind.FROM_CENTER,
-                op_id=message.op_id,
-                executed_at=self.sim.now,
-            )
-        )
-        self.executed_op_ids.append(message.op_id)
-        # A remote execution invalidates undo: the stored inverse is no
-        # longer defined on the current document.
-        self._last_exec_was_local = False
-        if self.event_log is not None:
-            self.event_log.execute(self.pid, message.op_id)
-
-    def _concurrency_pass(self, message: OpMessage) -> list[HistoryEntry]:
-        """Run formula (5) over the HB; record and (optionally) verify."""
-        out: list[HistoryEntry] = []
-        for entry in self.hb:
-            verdict = client_concurrent(message.timestamp, entry.timestamp, entry.origin_kind)
-            if self.record_checks:
-                self.checks.append(
-                    CheckRecord(
-                        site=self.pid,
-                        new_op_id=message.op_id,
-                        buffered_op_id=entry.op_id,
-                        verdict=verdict,
-                        new_timestamp=message.timestamp.as_paper_list(),
-                        buffered_timestamp=list(entry.timestamp.as_paper_list()),
-                    )
-                )
-            if self.verify_with_oracle and self.event_log is not None:
-                oracle = vc_concurrent(
-                    self.event_log.generation_clock(message.op_id),
-                    self.event_log.generation_clock(entry.op_id),
-                )
-                if oracle != verdict:
-                    raise ConsistencyError(
-                        f"site {self.pid}: compressed verdict {verdict} != oracle "
-                        f"{oracle} for ({message.op_id}, {entry.op_id})"
-                    )
-            if verdict:
-                out.append(entry)
-        return out
-
-    def undo_last(self) -> str:
-        """Undo this site's most recent operation (undo-as-new-operation).
-
-        Available while the operation is still the site's latest
-        execution: its stored inverse is then defined on the current
-        document, so the undo is generated and propagated like any other
-        local operation -- remote sites need no special handling, and
-        concurrent remote operations are transformed against the undo
-        exactly like against an ordinary edit.
-
-        Raises :class:`UndoError` if the last executed operation was not
-        a local one (a remote operation arrived since -- the inverse's
-        context is gone) or the OT type does not support inversion.
-
-        The undoable entry is tracked independently of the HB:
-        ``collect_garbage`` may prune the site's latest local entry (it
-        stops being *pending* the moment the notifier acknowledges it)
-        but the operation remains perfectly undoable -- the inverse is
-        defined on the current document as long as nothing remote has
-        executed since.
-        """
-        entry = self._last_local_entry
-        if entry is None:
-            raise UndoError(f"site {self.pid} has nothing to undo")
-        if not self._last_exec_was_local:
-            raise UndoError(
-                f"site {self.pid}: a remote operation executed after the last "
-                "local one; undo context is gone"
-            )
-        if entry.inverse is None:
-            raise UndoError(
-                f"OT type {self.ot.name!r} does not support inversion"
-            )
-        return self.generate(entry.inverse)
-
-    def _install_snapshot(self, snapshot: SnapshotMessage) -> None:
-        """Adopt the notifier's state and seed the compressed clock.
-
-        ``SV_i[1] := base_count``: the snapshot stands in for the first
-        ``base_count`` operations of the notifier's stream, so all later
-        timestamp arithmetic lines up with clients that were present from
-        the start.  A recovering client additionally restores
-        ``SV_i[2] := own_count`` -- the notifier's count of this site's
-        operations -- so post-restart timestamps continue the numbering
-        the notifier's formula-(7) bookkeeping expects.
-        """
-        if self.active:
-            raise ConsistencyError(f"site {self.pid} received a second snapshot")
-        self.document = snapshot.document
-        if self._recovering:
-            self.sv = ClientStateVector(
-                self.pid,
-                received_from_center=snapshot.base_count,
-                generated_locally=snapshot.own_count,
-            )
-            self._recovering = False
-            self.rel_stats.recoveries += 1
-            if self.event_log is not None and snapshot.origin_clock is not None:
-                self.event_log.absorb_snapshot(self.pid, snapshot.origin_clock)
-        else:
-            self.sv.received_from_center = snapshot.base_count
-        self.active = True
-
-    # -- crash / recovery -------------------------------------------------------
-
-    def crash(self) -> None:
-        """Lose all volatile state; messages are dropped until restart."""
-        if self.reliability is None:
-            raise RuntimeError("crash injection requires the reliability protocol")
-        self._crashed = True
-        self.active = False
-        self._recovering = False
-        self.crash_count += 1
-        self.document = self.ot.initial()
-        self.sv = ClientStateVector(self.pid)
-        self.hb = HistoryBuffer()
-        self.pending = deque()
-        self._last_local_entry = None
-        self._last_exec_was_local = False
-        # Reliability windows and reorder buffers are volatile too.
-        for link in self._links.values():
-            if link.timer is not None:
-                self.sim.cancel(link.timer)
-        self._links = {}
-
-    def restart(self) -> None:
-        """Come back up and resynchronise through the snapshot path.
-
-        Opens epoch ``crash_count``: the notifier voids the previous
-        incarnation's link state when it sees the higher epoch, so stale
-        in-flight traffic can never corrupt the restarted session.  The
-        resync request itself travels reliably (seq 0 of the new epoch),
-        so it survives drops like any other message.
-        """
-        if not self._crashed:
-            raise RuntimeError(f"site {self.pid} is not crashed")
-        self._crashed = False
-        self._recovering = True
-        self._reset_link(0, self.crash_count)
-        self.send(0, ResyncRequest(epoch=self.crash_count), timestamp_bytes=0, kind="resync")
-
-    # -- maintenance -----------------------------------------------------------
-
-    def collect_garbage(self) -> int:
-        """Prune HB entries that can never again test concurrent.
-
-        Under FIFO, FROM_CENTER entries never satisfy formula (5), and a
-        LOCAL entry stops mattering once acknowledged (it left
-        ``pending``).  Returns the number of entries removed.
-        """
-        pending_ids = {entry.op_id for entry in self.pending}
-        return self.hb.garbage_collect(lambda entry: entry.op_id in pending_ids)
-
-    def clock_storage_ints(self) -> int:
-        """Resident clock-state integers: the paper's constant 2."""
-        return self.sv.storage_ints()
-
-
-class StarNotifier(ReliableEndpoint):
-    """Site 0: the notifier at the centre of the star."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        n_sites: int,
-        ot_type_name: str = "text-positional",
-        initial_state: Any = None,
-        event_log: EventLog | None = None,
-        verify_with_oracle: bool = False,
-        transform_enabled: bool = True,
-        record_checks: bool = True,
-        reliability: ReliabilityConfig | None = None,
-    ) -> None:
-        super().__init__(sim, 0, reliability)
-        if n_sites < 1:
-            raise ValueError(f"need at least one collaborating site, got {n_sites}")
-        self.n_sites = n_sites
-        self.ot = get_type(ot_type_name)
-        self.document = self.ot.initial() if initial_state is None else initial_state
-        self.sv = NotifierStateVector(n_sites)
-        self.hb = HistoryBuffer()
-        # Per destination: broadcast operations the destination has not
-        # yet acknowledged, each in its per-destination form.  Every ack
-        # drops a prefix, so deques keep that O(acked) not O(n).
-        self.sent_to: dict[int, deque[PendingOp]] = {
-            i: deque() for i in range(1, n_sites + 1)
-        }
-        # How many entries have been dropped from each sent_to deque.
-        self.acked: dict[int, int] = {i: 0 for i in range(1, n_sites + 1)}
-        self.event_log = event_log
-        self.verify_with_oracle = verify_with_oracle
-        self.transform_enabled = transform_enabled
-        self.record_checks = record_checks
-        self.checks: list[CheckRecord] = []
-        self.executed_op_ids: list[str] = []
-        self.broadcast_log: list[tuple[str, int, CompressedTimestamp]] = []
-
-    def _handle_app_message(self, envelope: Envelope) -> None:
-        if isinstance(envelope.payload, ResyncRequest):
-            self._serve_resync(envelope.source)
-            return
-        message: OpMessage = envelope.payload
-        source = envelope.source
-        ts = message.timestamp
-        diagnostics = self.record_checks or self.verify_with_oracle
-        concurrent_entries = (
-            self._concurrency_pass(message, source) if diagnostics else None
-        )
-        # FIFO acknowledgement: the source has seen the first T[1]
-        # operations ever sent to it; drop them from its pending list.
-        already = self.acked[source]
-        to_drop = ts.first - already
-        if to_drop < 0:
-            raise ConsistencyError(
-                f"notifier: site {source} acknowledged {ts.first} < previously "
-                f"acknowledged {already} (FIFO violated?)"
-            )
-        for _ in range(to_drop):
-            self.sent_to[source].popleft()
-        self.acked[source] = ts.first
-        if self.transform_enabled and concurrent_entries is not None:
-            expected = [entry.op_id for entry in self.sent_to[source]]
-            actual = [entry.op_id for entry in concurrent_entries]
-            if expected != actual:
-                raise ConsistencyError(
-                    f"notifier: formula (7) concurrent set {actual} != pending "
-                    f"set {expected} for {message.op_id} from site {source}"
-                )
-        new_op = message.op
-        if self.transform_enabled:
-            for entry in self.sent_to[source]:
-                new_op, updated = self.ot.transform(
-                    new_op, entry.op, source < entry.origin_site
-                )
-                entry.op = updated
-        # Execute; the transformed operation becomes a *new* operation
-        # "generated at site 0" (paper Section 3.1 / Fig. 3).
-        self.document = _execute_remote(
-            self.ot, self.document, new_op, self.transform_enabled
-        )
-        self.sv.record_execution_from(source)
-        transformed_id = f"{message.op_id}'"
-        self.executed_op_ids.append(transformed_id)
-        if self.event_log is not None:
-            self.event_log.execute(0, message.op_id)
-            self.event_log.generate(0, transformed_id)
-        self.hb.append(
-            HistoryEntry(
-                op=new_op,
-                timestamp=self.sv.full_timestamp(),
-                origin_site=source,
-                origin_kind=OriginKind.FROM_CLIENT,
-                op_id=transformed_id,
-                executed_at=self.sim.now,
-                source_op_id=message.op_id,
-            )
-        )
-        # Broadcast the transformed form to every other site with a
-        # per-destination compressed timestamp (formulas 1-2).
-        for dest in range(1, self.n_sites + 1):
-            if dest == source:
-                continue
-            dest_ts = self.sv.compress_for_destination(dest)
-            self.broadcast_log.append((transformed_id, dest, dest_ts))
-            out = OpMessage(
-                op=new_op,
-                timestamp=dest_ts,
-                origin_site=source,
-                op_id=transformed_id,
-                source_op_id=message.op_id,
-            )
-            self.send(dest, out, timestamp_bytes=dest_ts.size_bytes())
-            self.sent_to[dest].append(
-                PendingOp(op=new_op, op_id=transformed_id, origin_site=source)
-            )
-
-    def _concurrency_pass(self, message: OpMessage, source: int) -> list[HistoryEntry]:
-        """Run formula (7) over ``HB_0``; record and (optionally) verify."""
-        out: list[HistoryEntry] = []
-        for entry in self.hb:
-            assert entry.origin_kind is OriginKind.FROM_CLIENT
-            verdict = notifier_concurrent(
-                message.timestamp, source, entry.timestamp, entry.origin_site
-            )
-            if self.record_checks:
-                self.checks.append(
-                    CheckRecord(
-                        site=0,
-                        new_op_id=message.op_id,
-                        buffered_op_id=entry.op_id,
-                        verdict=verdict,
-                        new_timestamp=message.timestamp.as_paper_list(),
-                        buffered_timestamp=list(entry.timestamp.as_paper_list()),
-                    )
-                )
-            if self.verify_with_oracle and self.event_log is not None:
-                # Formula (6)/(7) is defined over the operations as
-                # "originally generated at sites x and y": compare the
-                # original client operations' generation clocks.
-                oracle = vc_concurrent(
-                    self.event_log.generation_clock(message.op_id),
-                    self.event_log.generation_clock(entry.source_op_id),
-                )
-                if oracle != verdict:
-                    raise ConsistencyError(
-                        f"notifier: compressed verdict {verdict} != oracle {oracle} "
-                        f"for ({message.op_id}, {entry.source_op_id})"
-                    )
-            if verdict:
-                out.append(entry)
-        return out
-
-    def admit_client(self, client: "StarClient") -> None:
-        """Admit a late joiner: grow ``SV_0`` and send the state snapshot.
-
-        The snapshot covers every operation executed so far, so the
-        joiner's acknowledgement horizon starts at ``SV_0.total()`` and
-        nothing is pending for it; FIFO on the fresh channel guarantees
-        the snapshot precedes any subsequent broadcast.
-        """
-        site_id = self.sv.add_site()
-        if client.pid != site_id:
-            raise ValueError(
-                f"joiner must take the next site id {site_id}, got {client.pid}"
-            )
-        self.n_sites = site_id
-        self.sent_to[site_id] = deque()
-        self.acked[site_id] = self.sv.total()
-        self.send(
-            site_id,
-            SnapshotMessage(document=self.document, base_count=self.sv.total()),
-            timestamp_bytes=0,
-            kind="snapshot",
-        )
-
-    def _serve_resync(self, site: int) -> None:
-        """Re-admit a crashed-and-restarted client.
-
-        The snapshot covers everything executed at site 0, so nothing
-        stays pending for the restarted site: its send window was
-        already voided by the epoch bump, ``sent_to``/``acked`` restart
-        at the snapshot horizon, and the snapshot itself goes out as
-        seq 0 of the new epoch -- FIFO guarantees every later broadcast
-        arrives after it, exactly as for a fresh joiner.
-
-        ``base_count`` excludes the site's own operations (the notifier
-        only ever broadcasts *other* sites' operations to it), and
-        ``own_count`` hands back ``SV_0[site]`` so the client's local
-        numbering resumes where the notifier's bookkeeping expects.
-        """
-        own = self.sv[site]
-        base = self.sv.total() - own
-        self.sent_to[site] = deque()
-        self.acked[site] = base
-        self.rel_stats.resyncs_served += 1
-        origin_clock = None
-        if self.event_log is not None:
-            origin_clock = self.event_log.site_clock(0)
-        self.send(
-            site,
-            SnapshotMessage(
-                document=self.document,
-                base_count=base,
-                own_count=own,
-                origin_clock=origin_clock,
-            ),
-            timestamp_bytes=0,
-            kind="snapshot",
-        )
-
-    def collect_garbage(self) -> int:
-        """Prune HB entries no longer pending for any destination."""
-        needed = {pending.op_id for entries in self.sent_to.values() for pending in entries}
-        return self.hb.garbage_collect(lambda entry: entry.op_id in needed)
-
-    def clock_storage_ints(self) -> int:
-        """Resident clock-state integers at the notifier: N."""
-        return self.sv.storage_ints()
-
-
-class StarSession:
+from repro.session import CheckRecord, ConsistencyError, SessionBase
+
+__all__ = [
+    "CheckRecord",
+    "ConsistencyError",
+    "OpMessage",
+    "PendingOp",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliablePacket",
+    "ReliableEndpoint",
+    "ResyncRequest",
+    "SnapshotMessage",
+    "StarClient",
+    "StarNotifier",
+    "StarSession",
+    "UndoError",
+    "execute_remote",
+]
+
+
+class StarSession(SessionBase):
     """A complete editing session: one notifier plus N clients."""
 
     def __init__(
@@ -1026,6 +165,10 @@ class StarSession:
                 self.sim.schedule(crash.at, client.crash)
                 self.sim.schedule(crash.restart_at, client.restart)
 
+    def endpoints(self) -> Sequence[Any]:
+        """Canonical site order: ``[notifier, client 1, ..., client N]``."""
+        return [self.notifier, *self.clients]
+
     def add_client(self, at: float) -> int:
         """Schedule a late join at virtual time ``at``; returns the site id.
 
@@ -1074,43 +217,11 @@ class StarSession:
         client = self.client(site_id)
         self.sim.schedule(at, lambda: client.generate(op, op_id))
 
-    def run(self, until: float | None = None) -> int:
-        """Run the simulation; returns the number of events executed."""
-        return self.sim.run(until=until)
-
-    def documents(self) -> list[Any]:
-        """Document states: ``[notifier, client 1, ..., client N]``."""
-        return [self.notifier.document] + [c.document for c in self.clients]
-
-    def converged(self) -> bool:
-        """True iff all sites (including the notifier) hold equal state."""
-        docs = self.documents()
-        return all(doc == docs[0] for doc in docs[1:])
-
-    def quiescent(self) -> bool:
-        """True iff no message is still in flight."""
-        return self.sim.pending_events == 0
-
-    def all_checks(self) -> list[CheckRecord]:
-        records = list(self.notifier.checks)
-        for client in self.clients:
-            records.extend(client.checks)
-        return records
-
-    def wire_stats(self):
-        return self.topology.total_stats()
-
-    def reliable_delivery_in_order(self) -> bool:
-        """True iff every endpoint's reliability layer released a gap-free
-        FIFO stream to the editor (trivially true without reliability)."""
-        endpoints = [self.notifier, *self.clients]
-        return all(endpoint.delivered_in_order() for endpoint in endpoints)
-
     def fault_report(self):
         """Aggregate what the network did and what the protocol absorbed."""
         from repro.metrics.accounting import build_fault_report
 
         return build_fault_report(
             self.topology.total_fault_stats(),
-            [self.notifier.rel_stats, *(c.rel_stats for c in self.clients)],
+            [endpoint.rel_stats for endpoint in self.endpoints()],
         )

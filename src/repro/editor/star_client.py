@@ -1,0 +1,353 @@
+"""The star editor's client role (sites ``1..N``).
+
+A :class:`StarClient` is an :class:`~repro.session.EditorEndpoint`: a
+simulated process that *owns* its transport (raw FIFO by default, the
+reliability protocol when the session runs with faults) and implements
+the paper's client-side rules on top of it -- execute local operations
+immediately, timestamp with the 2-element state vector ``SV_i``,
+check incoming notifier operations for concurrency with formula (5),
+transform against the not-yet-acknowledged local operations, execute.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any
+
+from repro.clocks.events import EventLog
+from repro.clocks.vector import concurrent as vc_concurrent
+from repro.core.concurrency import client_concurrent
+from repro.core.history import HistoryBuffer, HistoryEntry
+from repro.core.state_vector import ClientStateVector
+from repro.core.timestamp import OriginKind
+from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
+from repro.net.reliability import ReliabilityConfig, ReliableEndpoint
+from repro.net.simulator import Simulator
+from repro.net.transport import Envelope
+from repro.ot.types import get_type
+from repro.session import CheckRecord, ConsistencyError, EditorEndpoint
+
+
+class UndoError(RuntimeError):
+    """Raised when the requested undo is not available."""
+
+
+def execute_remote(ot: Any, state: Any, op: Any, transform_enabled: bool) -> Any:
+    """Execute a remote operation, best-effort when transformation is off.
+
+    The transformation-off mode exists to reproduce the paper's Fig. 2
+    failure behaviour; a naive replica clamps out-of-range positions
+    instead of crashing (see :func:`repro.ot.operations.apply_clamped`).
+    """
+    if transform_enabled:
+        return ot.apply(state, op)
+    from repro.ot.operations import Operation, apply_clamped
+
+    if isinstance(op, Operation) and isinstance(state, str):
+        return apply_clamped(state, op)
+    return ot.apply(state, op)
+
+
+class StarClient(EditorEndpoint):
+    """A collaborating site ``i != 0``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_id: int,
+        ot_type_name: str = "text-positional",
+        initial_state: Any = None,
+        event_log: EventLog | None = None,
+        verify_with_oracle: bool = False,
+        transform_enabled: bool = True,
+        record_checks: bool = True,
+        joining: bool = False,
+        reliability: ReliabilityConfig | None = None,
+    ) -> None:
+        if site_id <= 0:
+            raise ValueError(f"client site ids are 1..N, got {site_id}")
+        super().__init__(sim, site_id, reliability)
+        self.ot = get_type(ot_type_name)
+        self.document = self.ot.initial() if initial_state is None else initial_state
+        self.sv = ClientStateVector(site_id)
+        self.hb = HistoryBuffer()
+        # Local operations not yet reflected in a notifier timestamp; each
+        # element is the HistoryEntry so re-transformation updates the HB.
+        # Acknowledgement pops from the left on every arrival: a deque.
+        self.pending: deque[HistoryEntry] = deque()
+        self.event_log = event_log
+        self.verify_with_oracle = verify_with_oracle
+        self.transform_enabled = transform_enabled
+        # Diagnostic trace of every concurrency check.  O(ops * HB) memory:
+        # keep it on for scenario replays and tests, off for long sessions.
+        self.record_checks = record_checks
+        self.checks: list[CheckRecord] = []
+        self.executed_op_ids: list[str] = []
+        # Late joiners start inactive and are activated by the snapshot.
+        self.active = not joining
+        # Per-client counter: op ids must not leak across sessions in one
+        # process, or replays stop being reproducible.  Survives crashes
+        # (ids are ground-truth bookkeeping, not volatile editor state).
+        self._op_ids = itertools.count(1)
+        # Undo bookkeeping, independent of the HB so garbage collection
+        # cannot take a legitimately undoable operation away.
+        self._last_local_entry: HistoryEntry | None = None
+        self._last_exec_was_local = False
+        self.crash_count = 0
+        self._recovering = False
+
+    # -- local editing -------------------------------------------------------
+
+    def generate(self, op: Any, op_id: str | None = None) -> str | None:
+        """Generate, execute and propagate a local operation.
+
+        Returns the operation id.  Per the paper: execute immediately,
+        increment ``SV_i[2]``, timestamp with the current ``SV_i``,
+        propagate to site 0, and buffer in the local HB.  While the
+        client is crashed or awaiting its recovery snapshot the edit is
+        dropped (returns ``None``).
+        """
+        if not self.active:
+            if self.transport.crashed or self._recovering:
+                # A user edit during an outage is simply lost, like
+                # keystrokes into a dead terminal; count it and move on.
+                self.rel_stats.lost_local_edits += 1
+                return None
+            raise RuntimeError(
+                f"site {self.pid} has not received its join snapshot yet"
+            )
+        op_id = op_id or f"c{self.pid}_{next(self._op_ids)}"
+        inverse = None
+        invert = getattr(self.ot, "invert", None)
+        if invert is not None:
+            try:
+                inverse = invert(self.document, op)
+            except (TypeError, ValueError):
+                inverse = None  # op shape the type cannot invert
+        self.document = self.ot.apply(self.document, op)
+        self.sv.record_local_execution()
+        ts = self.sv.timestamp()
+        entry = HistoryEntry(
+            op=op,
+            timestamp=ts,
+            origin_site=self.pid,
+            origin_kind=OriginKind.LOCAL,
+            op_id=op_id,
+            executed_at=self.sim.now,
+            inverse=inverse,
+        )
+        self.hb.append(entry)
+        self.pending.append(entry)
+        self.executed_op_ids.append(op_id)
+        self._last_local_entry = entry
+        self._last_exec_was_local = True
+        if self.event_log is not None:
+            self.event_log.generate(self.pid, op_id)
+        message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
+        self.send(0, message, timestamp_bytes=ts.size_bytes())
+        return op_id
+
+    # -- receiving from the notifier ------------------------------------------
+
+    def _handle_app_message(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, SnapshotMessage):
+            self._install_snapshot(envelope.payload)
+            return
+        if not self.active:
+            raise ConsistencyError(
+                f"site {self.pid} received an operation before its snapshot "
+                "(FIFO violated?)"
+            )
+        message: OpMessage = envelope.payload
+        ts = message.timestamp
+        # The full formula-(5) sweep over the HB is O(|HB|) per arrival
+        # and only needed when recording or oracle-verifying checks; the
+        # FIFO analysis (see _concurrency_pass) proves the concurrent
+        # set equals the unacknowledged-pending set, which the fast path
+        # uses directly.  The slow path cross-checks the two.
+        diagnostics = self.record_checks or self.verify_with_oracle
+        concurrent_entries = self._concurrency_pass(message) if diagnostics else None
+        # FIFO acknowledgement: T[2] local operations are now reflected
+        # in the notifier's state; they stop being "pending".
+        while self.pending and self.pending[0].timestamp.second <= ts.second:
+            self.pending.popleft()
+        if self.transform_enabled and concurrent_entries is not None:
+            expected = [entry.op_id for entry in self.pending]
+            actual = [entry.op_id for entry in concurrent_entries]
+            if expected != actual:
+                raise ConsistencyError(
+                    f"site {self.pid}: formula (5) concurrent set {actual} != "
+                    f"pending set {expected} for {message.op_id}"
+                )
+        new_op = message.op
+        if self.transform_enabled:
+            for entry in self.pending:
+                new_op, updated = self.ot.transform(
+                    new_op, entry.op, message.origin_site < entry.origin_site
+                )
+                entry.op = updated
+        self.document = execute_remote(
+            self.ot, self.document, new_op, self.transform_enabled
+        )
+        self.sv.record_remote_execution()
+        self.hb.append(
+            HistoryEntry(
+                op=new_op,
+                timestamp=ts,
+                origin_site=message.origin_site,
+                origin_kind=OriginKind.FROM_CENTER,
+                op_id=message.op_id,
+                executed_at=self.sim.now,
+            )
+        )
+        self.executed_op_ids.append(message.op_id)
+        # A remote execution invalidates undo: the stored inverse is no
+        # longer defined on the current document.
+        self._last_exec_was_local = False
+        if self.event_log is not None:
+            self.event_log.execute(self.pid, message.op_id)
+
+    def _concurrency_pass(self, message: OpMessage) -> list[HistoryEntry]:
+        """Run formula (5) over the HB; record and (optionally) verify."""
+        out: list[HistoryEntry] = []
+        for entry in self.hb:
+            verdict = client_concurrent(message.timestamp, entry.timestamp, entry.origin_kind)
+            if self.record_checks:
+                self.checks.append(
+                    CheckRecord(
+                        site=self.pid,
+                        new_op_id=message.op_id,
+                        buffered_op_id=entry.op_id,
+                        verdict=verdict,
+                        new_timestamp=message.timestamp.as_paper_list(),
+                        buffered_timestamp=list(entry.timestamp.as_paper_list()),
+                    )
+                )
+            if self.verify_with_oracle and self.event_log is not None:
+                oracle = vc_concurrent(
+                    self.event_log.generation_clock(message.op_id),
+                    self.event_log.generation_clock(entry.op_id),
+                )
+                if oracle != verdict:
+                    raise ConsistencyError(
+                        f"site {self.pid}: compressed verdict {verdict} != oracle "
+                        f"{oracle} for ({message.op_id}, {entry.op_id})"
+                    )
+            if verdict:
+                out.append(entry)
+        return out
+
+    def undo_last(self) -> str:
+        """Undo this site's most recent operation (undo-as-new-operation).
+
+        Available while the operation is still the site's latest
+        execution: its stored inverse is then defined on the current
+        document, so the undo is generated and propagated like any other
+        local operation -- remote sites need no special handling, and
+        concurrent remote operations are transformed against the undo
+        exactly like against an ordinary edit.
+
+        Raises :class:`UndoError` if the last executed operation was not
+        a local one (a remote operation arrived since -- the inverse's
+        context is gone) or the OT type does not support inversion.
+
+        The undoable entry is tracked independently of the HB:
+        ``collect_garbage`` may prune the site's latest local entry (it
+        stops being *pending* the moment the notifier acknowledges it)
+        but the operation remains perfectly undoable -- the inverse is
+        defined on the current document as long as nothing remote has
+        executed since.
+        """
+        entry = self._last_local_entry
+        if entry is None:
+            raise UndoError(f"site {self.pid} has nothing to undo")
+        if not self._last_exec_was_local:
+            raise UndoError(
+                f"site {self.pid}: a remote operation executed after the last "
+                "local one; undo context is gone"
+            )
+        if entry.inverse is None:
+            raise UndoError(
+                f"OT type {self.ot.name!r} does not support inversion"
+            )
+        return self.generate(entry.inverse)
+
+    def _install_snapshot(self, snapshot: SnapshotMessage) -> None:
+        """Adopt the notifier's state and seed the compressed clock.
+
+        ``SV_i[1] := base_count``: the snapshot stands in for the first
+        ``base_count`` operations of the notifier's stream, so all later
+        timestamp arithmetic lines up with clients that were present from
+        the start.  A recovering client additionally restores
+        ``SV_i[2] := own_count`` -- the notifier's count of this site's
+        operations -- so post-restart timestamps continue the numbering
+        the notifier's formula-(7) bookkeeping expects.
+        """
+        if self.active:
+            raise ConsistencyError(f"site {self.pid} received a second snapshot")
+        self.document = snapshot.document
+        if self._recovering:
+            self.sv = ClientStateVector(
+                self.pid,
+                received_from_center=snapshot.base_count,
+                generated_locally=snapshot.own_count,
+            )
+            self._recovering = False
+            self.rel_stats.recoveries += 1
+            if self.event_log is not None and snapshot.origin_clock is not None:
+                self.event_log.absorb_snapshot(self.pid, snapshot.origin_clock)
+        else:
+            self.sv.received_from_center = snapshot.base_count
+        self.active = True
+
+    # -- crash / recovery -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state; messages are dropped until restart."""
+        if self.transport.reliability is None:
+            raise RuntimeError("crash injection requires the reliability protocol")
+        self.transport.go_down()
+        self.active = False
+        self._recovering = False
+        self.crash_count += 1
+        self.document = self.ot.initial()
+        self.sv = ClientStateVector(self.pid)
+        self.hb = HistoryBuffer()
+        self.pending = deque()
+        self._last_local_entry = None
+        self._last_exec_was_local = False
+
+    def restart(self) -> None:
+        """Come back up and resynchronise through the snapshot path.
+
+        Opens epoch ``crash_count``: the notifier voids the previous
+        incarnation's link state when it sees the higher epoch, so stale
+        in-flight traffic can never corrupt the restarted session.  The
+        resync request itself travels reliably (seq 0 of the new epoch),
+        so it survives drops like any other message.
+        """
+        if not self.transport.crashed:
+            raise RuntimeError(f"site {self.pid} is not crashed")
+        transport = self.transport
+        assert isinstance(transport, ReliableEndpoint)  # crash() demanded it
+        transport.revive()
+        self._recovering = True
+        transport.reset_link(0, self.crash_count)
+        self.send(0, ResyncRequest(epoch=self.crash_count), timestamp_bytes=0, kind="resync")
+
+    # -- maintenance -----------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Prune HB entries that can never again test concurrent.
+
+        Under FIFO, FROM_CENTER entries never satisfy formula (5), and a
+        LOCAL entry stops mattering once acknowledged (it left
+        ``pending``).  Returns the number of entries removed.
+        """
+        pending_ids = {entry.op_id for entry in self.pending}
+        return self.hb.garbage_collect(lambda entry: entry.op_id in pending_ids)
+
+    def clock_storage_ints(self) -> int:
+        """Resident clock-state integers: the paper's constant 2."""
+        return self.sv.storage_ints()

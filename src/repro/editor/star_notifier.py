@@ -1,0 +1,273 @@
+"""The star editor's notifier role (site 0, the centre of the star).
+
+The notifier is an :class:`~repro.session.EditorEndpoint` like the
+clients: it owns a transport rather than inheriting one.  On top of that
+it maintains the full ``SV_0``; on receiving an operation from site
+``x`` it determines the concurrent history entries with formula (7),
+transforms the operation against them, executes it, and broadcasts the
+*transformed* form to every other site with a per-destination compressed
+timestamp (formulas 1-2).  This redefinition is what collapses the
+causality relation to two dimensions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.clocks.events import EventLog
+from repro.clocks.vector import concurrent as vc_concurrent
+from repro.core.concurrency import notifier_concurrent
+from repro.core.history import HistoryBuffer, HistoryEntry
+from repro.core.state_vector import NotifierStateVector
+from repro.core.timestamp import CompressedTimestamp, OriginKind
+from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
+from repro.editor.star_client import execute_remote
+from repro.net.reliability import ReliabilityConfig
+from repro.net.simulator import Simulator
+from repro.net.transport import Envelope
+from repro.ot.types import get_type
+from repro.session import CheckRecord, ConsistencyError, EditorEndpoint
+
+if TYPE_CHECKING:
+    from repro.editor.star_client import StarClient
+
+
+@dataclass
+class PendingOp:
+    """A broadcast operation awaiting acknowledgement by one destination.
+
+    Each destination holds its **own** record: the form evolves by
+    inclusion transformation against that destination's incoming
+    operations only, keeping the server-to-destination transformation
+    path context-valid (the Jupiter bridge invariant).  Sharing one
+    object across destinations would let one client's traffic corrupt
+    another's path.
+    """
+
+    op: Any
+    op_id: str
+    origin_site: int
+
+
+class StarNotifier(EditorEndpoint):
+    """Site 0: the notifier at the centre of the star."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_sites: int,
+        ot_type_name: str = "text-positional",
+        initial_state: Any = None,
+        event_log: EventLog | None = None,
+        verify_with_oracle: bool = False,
+        transform_enabled: bool = True,
+        record_checks: bool = True,
+        reliability: ReliabilityConfig | None = None,
+    ) -> None:
+        super().__init__(sim, 0, reliability)
+        if n_sites < 1:
+            raise ValueError(f"need at least one collaborating site, got {n_sites}")
+        self.n_sites = n_sites
+        self.ot = get_type(ot_type_name)
+        self.document = self.ot.initial() if initial_state is None else initial_state
+        self.sv = NotifierStateVector(n_sites)
+        self.hb = HistoryBuffer()
+        # Per destination: broadcast operations the destination has not
+        # yet acknowledged, each in its per-destination form.  Every ack
+        # drops a prefix, so deques keep that O(acked) not O(n).
+        self.sent_to: dict[int, deque[PendingOp]] = {
+            i: deque() for i in range(1, n_sites + 1)
+        }
+        # How many entries have been dropped from each sent_to deque.
+        self.acked: dict[int, int] = {i: 0 for i in range(1, n_sites + 1)}
+        self.event_log = event_log
+        self.verify_with_oracle = verify_with_oracle
+        self.transform_enabled = transform_enabled
+        self.record_checks = record_checks
+        self.checks: list[CheckRecord] = []
+        self.executed_op_ids: list[str] = []
+        self.broadcast_log: list[tuple[str, int, CompressedTimestamp]] = []
+
+    def _handle_app_message(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, ResyncRequest):
+            self._serve_resync(envelope.source)
+            return
+        message: OpMessage = envelope.payload
+        source = envelope.source
+        ts = message.timestamp
+        diagnostics = self.record_checks or self.verify_with_oracle
+        concurrent_entries = (
+            self._concurrency_pass(message, source) if diagnostics else None
+        )
+        # FIFO acknowledgement: the source has seen the first T[1]
+        # operations ever sent to it; drop them from its pending list.
+        already = self.acked[source]
+        to_drop = ts.first - already
+        if to_drop < 0:
+            raise ConsistencyError(
+                f"notifier: site {source} acknowledged {ts.first} < previously "
+                f"acknowledged {already} (FIFO violated?)"
+            )
+        for _ in range(to_drop):
+            self.sent_to[source].popleft()
+        self.acked[source] = ts.first
+        if self.transform_enabled and concurrent_entries is not None:
+            expected = [entry.op_id for entry in self.sent_to[source]]
+            actual = [entry.op_id for entry in concurrent_entries]
+            if expected != actual:
+                raise ConsistencyError(
+                    f"notifier: formula (7) concurrent set {actual} != pending "
+                    f"set {expected} for {message.op_id} from site {source}"
+                )
+        new_op = message.op
+        if self.transform_enabled:
+            for entry in self.sent_to[source]:
+                new_op, updated = self.ot.transform(
+                    new_op, entry.op, source < entry.origin_site
+                )
+                entry.op = updated
+        # Execute; the transformed operation becomes a *new* operation
+        # "generated at site 0" (paper Section 3.1 / Fig. 3).
+        self.document = execute_remote(
+            self.ot, self.document, new_op, self.transform_enabled
+        )
+        self.sv.record_execution_from(source)
+        transformed_id = f"{message.op_id}'"
+        self.executed_op_ids.append(transformed_id)
+        if self.event_log is not None:
+            self.event_log.execute(0, message.op_id)
+            self.event_log.generate(0, transformed_id)
+        self.hb.append(
+            HistoryEntry(
+                op=new_op,
+                timestamp=self.sv.full_timestamp(),
+                origin_site=source,
+                origin_kind=OriginKind.FROM_CLIENT,
+                op_id=transformed_id,
+                executed_at=self.sim.now,
+                source_op_id=message.op_id,
+            )
+        )
+        # Broadcast the transformed form to every other site with a
+        # per-destination compressed timestamp (formulas 1-2).
+        for dest in range(1, self.n_sites + 1):
+            if dest == source:
+                continue
+            dest_ts = self.sv.compress_for_destination(dest)
+            self.broadcast_log.append((transformed_id, dest, dest_ts))
+            out = OpMessage(
+                op=new_op,
+                timestamp=dest_ts,
+                origin_site=source,
+                op_id=transformed_id,
+                source_op_id=message.op_id,
+            )
+            self.send(dest, out, timestamp_bytes=dest_ts.size_bytes())
+            self.sent_to[dest].append(
+                PendingOp(op=new_op, op_id=transformed_id, origin_site=source)
+            )
+
+    def _concurrency_pass(self, message: OpMessage, source: int) -> list[HistoryEntry]:
+        """Run formula (7) over ``HB_0``; record and (optionally) verify."""
+        out: list[HistoryEntry] = []
+        for entry in self.hb:
+            assert entry.origin_kind is OriginKind.FROM_CLIENT
+            verdict = notifier_concurrent(
+                message.timestamp, source, entry.timestamp, entry.origin_site
+            )
+            if self.record_checks:
+                self.checks.append(
+                    CheckRecord(
+                        site=0,
+                        new_op_id=message.op_id,
+                        buffered_op_id=entry.op_id,
+                        verdict=verdict,
+                        new_timestamp=message.timestamp.as_paper_list(),
+                        buffered_timestamp=list(entry.timestamp.as_paper_list()),
+                    )
+                )
+            if self.verify_with_oracle and self.event_log is not None:
+                # Formula (6)/(7) is defined over the operations as
+                # "originally generated at sites x and y": compare the
+                # original client operations' generation clocks.
+                oracle = vc_concurrent(
+                    self.event_log.generation_clock(message.op_id),
+                    self.event_log.generation_clock(entry.source_op_id),
+                )
+                if oracle != verdict:
+                    raise ConsistencyError(
+                        f"notifier: compressed verdict {verdict} != oracle {oracle} "
+                        f"for ({message.op_id}, {entry.source_op_id})"
+                    )
+            if verdict:
+                out.append(entry)
+        return out
+
+    def admit_client(self, client: "StarClient") -> None:
+        """Admit a late joiner: grow ``SV_0`` and send the state snapshot.
+
+        The snapshot covers every operation executed so far, so the
+        joiner's acknowledgement horizon starts at ``SV_0.total()`` and
+        nothing is pending for it; FIFO on the fresh channel guarantees
+        the snapshot precedes any subsequent broadcast.
+        """
+        site_id = self.sv.add_site()
+        if client.pid != site_id:
+            raise ValueError(
+                f"joiner must take the next site id {site_id}, got {client.pid}"
+            )
+        self.n_sites = site_id
+        self.sent_to[site_id] = deque()
+        self.acked[site_id] = self.sv.total()
+        self.send(
+            site_id,
+            SnapshotMessage(document=self.document, base_count=self.sv.total()),
+            timestamp_bytes=0,
+            kind="snapshot",
+        )
+
+    def _serve_resync(self, site: int) -> None:
+        """Re-admit a crashed-and-restarted client.
+
+        The snapshot covers everything executed at site 0, so nothing
+        stays pending for the restarted site: its send window was
+        already voided by the epoch bump, ``sent_to``/``acked`` restart
+        at the snapshot horizon, and the snapshot itself goes out as
+        seq 0 of the new epoch -- FIFO guarantees every later broadcast
+        arrives after it, exactly as for a fresh joiner.
+
+        ``base_count`` excludes the site's own operations (the notifier
+        only ever broadcasts *other* sites' operations to it), and
+        ``own_count`` hands back ``SV_0[site]`` so the client's local
+        numbering resumes where the notifier's bookkeeping expects.
+        """
+        own = self.sv[site]
+        base = self.sv.total() - own
+        self.sent_to[site] = deque()
+        self.acked[site] = base
+        self.rel_stats.resyncs_served += 1
+        origin_clock = None
+        if self.event_log is not None:
+            origin_clock = self.event_log.site_clock(0)
+        self.send(
+            site,
+            SnapshotMessage(
+                document=self.document,
+                base_count=base,
+                own_count=own,
+                origin_clock=origin_clock,
+            ),
+            timestamp_bytes=0,
+            kind="snapshot",
+        )
+
+    def collect_garbage(self) -> int:
+        """Prune HB entries no longer pending for any destination."""
+        needed = {pending.op_id for entries in self.sent_to.values() for pending in entries}
+        return self.hb.garbage_collect(lambda entry: entry.op_id in needed)
+
+    def clock_storage_ints(self) -> int:
+        """Resident clock-state integers at the notifier: N."""
+        return self.sv.storage_ints()

@@ -17,6 +17,11 @@ Memory (resident clock-state integers per process):
 * full vectors: N;
 * SK: 3N (VC + last-sent + last-update);
 * compressed: 2 at each client, N at the notifier only.
+
+The memory table is not hand-computed from those formulas: it asks real
+clock instances via the :meth:`~repro.clocks.base.ClockProtocol.storage_ints`
+hook every family implements, so the table can never drift from the
+implementations it describes.
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.clocks.sk import SKProcess
+from repro.clocks.vector import VectorClock
+from repro.core.state_vector import ClientStateVector, NotifierStateVector
 from repro.net.transport import INT_WIDTH
 
 
@@ -133,14 +140,19 @@ class MemoryComparison:
 
 
 def memory_comparison(n_values: Sequence[int]) -> list[MemoryComparison]:
-    """The CLAIM-MEM table: clock storage per process vs system size."""
+    """The CLAIM-MEM table: clock storage per process vs system size.
+
+    Each cell is measured on a live clock instance through its
+    ``storage_ints()`` hook rather than restating the closed forms from
+    the module docstring.
+    """
     return [
         MemoryComparison(
             n=n,
-            full_vector_per_process=n,
-            sk_per_process=3 * n,
-            compressed_client=2,
-            compressed_notifier=n,
+            full_vector_per_process=VectorClock.zero(n).storage_ints(),
+            sk_per_process=SKProcess(0, n).storage_ints(),
+            compressed_client=ClientStateVector(1).storage_ints(),
+            compressed_notifier=NotifierStateVector(n).storage_ints(),
         )
         for n in n_values
     ]
@@ -152,8 +164,8 @@ class FaultToleranceReport:
 
     The network side aggregates :class:`repro.net.faults.FaultStats`
     over every channel (losses the *network* caused); the protocol side
-    aggregates :class:`repro.editor.star.ReliabilityStats` over every
-    endpoint (the recovery work the protocol did).
+    aggregates :class:`repro.net.reliability.ReliabilityStats` over
+    every endpoint (the recovery work the protocol did).
 
     Losses are split by packet class because only one class forces
     recovery work: a lost sequenced *data* packet sits in its sender's
@@ -216,8 +228,8 @@ def build_fault_report(fault_stats, rel_stats_list) -> FaultToleranceReport:
     """Aggregate channel fault stats and per-endpoint reliability stats.
 
     Duck-typed over :class:`repro.net.faults.FaultStats` and an iterable
-    of :class:`repro.editor.star.ReliabilityStats` so this module stays
-    import-light (the editor imports it, not vice versa).
+    of :class:`repro.net.reliability.ReliabilityStats` so this module
+    stays import-light (the editor imports it, not vice versa).
     """
     totals = {
         "sent": 0,

@@ -14,6 +14,12 @@ channels guarantee those properties while letting experiments inject
 arbitrary, per-channel, possibly random latency -- a strictly more
 adversarial environment than a single live demo, and reproducible under
 a seed.
+
+When faults are injected (:mod:`repro.net.faults` can drop, duplicate,
+or outage messages), the transport layer (:mod:`repro.net.reliability`)
+rebuilds the two guarantees above on top of the damaged channels; the
+shared :class:`~repro.net.holdback.HoldbackQueue` is its reorder buffer
+and the mesh editor's causal-delivery buffer alike.
 """
 
 from repro.net.simulator import Simulator
@@ -23,6 +29,16 @@ from repro.net.channel import (
     JitterLatency,
     LatencyModel,
     UniformLatency,
+)
+from repro.net.holdback import HoldbackQueue
+from repro.net.reliability import (
+    RawTransport,
+    ReliabilityConfig,
+    ReliabilityStats,
+    ReliablePacket,
+    ReliableEndpoint,
+    Transport,
+    build_transport,
 )
 from repro.net.transport import Envelope, measure_payload_bytes
 from repro.net.topology import StarTopology, MeshTopology
@@ -40,4 +56,12 @@ __all__ = [
     "StarTopology",
     "MeshTopology",
     "SimProcess",
+    "HoldbackQueue",
+    "RawTransport",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliablePacket",
+    "ReliableEndpoint",
+    "Transport",
+    "build_transport",
 ]

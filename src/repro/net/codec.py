@@ -12,7 +12,7 @@ tag-value encoding:
   pos + count; groups: member count + members).
 
 ``encode_op_message`` / ``decode_op_message`` round-trip the full
-:class:`repro.editor.star.OpMessage`; the property suite checks
+:class:`repro.editor.messages.OpMessage`; the property suite checks
 ``decode(encode(m)) == m`` and that measured sizes match
 :func:`repro.net.transport.measure_payload_bytes` within the codec's
 framing overhead.
@@ -162,7 +162,7 @@ TIMESTAMP_WIRE_BYTES = 2 * INT_WIDTH
 
 
 def encode_op_message(message: Any) -> bytes:
-    """Serialise a :class:`repro.editor.star.OpMessage` to bytes."""
+    """Serialise a :class:`repro.editor.messages.OpMessage` to bytes."""
     writer = Writer()
     encode_timestamp(message.timestamp, writer)
     writer.u32(message.origin_site)
@@ -173,7 +173,7 @@ def encode_op_message(message: Any) -> bytes:
 
 
 def decode_op_message(data: bytes) -> Any:
-    from repro.editor.star import OpMessage
+    from repro.editor.messages import OpMessage
 
     reader = Reader(data)
     ts = decode_timestamp(reader)

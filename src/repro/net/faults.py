@@ -19,8 +19,8 @@ Pieces
   that applies a :class:`ChannelFaults` draw to every send.
 
 Recovery from these faults is the job of the reliability protocol in
-:mod:`repro.editor.star` (sequence numbers, retransmission, dedup,
-snapshot resynchronisation); this module only breaks things.
+:mod:`repro.net.reliability` (sequence numbers, retransmission,
+dedup) and the editor's snapshot resynchronisation path; this module only breaks things.
 """
 
 from __future__ import annotations

@@ -1,0 +1,421 @@
+"""The reliability transport layer: FIFO streams over a faulty network.
+
+This module is the bottom layer of the editor protocol stack
+(transport -> causality -> integration -> session; see DESIGN.md
+"Architecture layers").  It knows nothing about operational
+transformation, state vectors, or documents: it moves opaque payloads
+between process ids and guarantees the two properties the paper's
+formulas (5) and (7) assume -- per-connection FIFO order and no loss --
+on top of a network that may drop, duplicate, or delay messages and
+whose endpoints may crash (see :mod:`repro.net.faults`).
+
+Editors *own* a transport (composition), they do not inherit one:
+
+* :class:`RawTransport` -- the perfect-network pass-through.  Sends go
+  straight onto the FIFO channel, arrivals go straight to the editor's
+  ``deliver`` callback.  Zero overhead, byte-for-byte identical wire
+  accounting to the paper's model.
+* :class:`ReliableEndpoint` -- the reliability protocol.  Every outgoing
+  message is wrapped in a sequence-numbered :class:`ReliablePacket`,
+  retransmitted with exponential backoff until cumulatively
+  acknowledged, deduplicated by ``(source, seq)`` at the receiver, and
+  released to ``deliver`` strictly in sequence order through a shared
+  :class:`~repro.net.holdback.HoldbackQueue`.  Crashed incarnations
+  are fenced by *epochs*: a packet from an older epoch is discarded, a
+  packet from a newer epoch voids the previous incarnation's link state.
+
+:func:`build_transport` selects between the two from a
+:class:`ReliabilityConfig` (``None`` means raw), which is how the
+editor layer stays agnostic of which transport it is running over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol, Union, runtime_checkable
+
+from repro.net.holdback import HoldbackQueue
+from repro.net.simulator import Simulator
+from repro.net.transport import Envelope
+
+WireSend = Callable[[int, Any, int, str], None]
+Deliver = Callable[[Envelope], None]
+
+
+@dataclass(frozen=True)
+class ReliablePacket:
+    """The reliability envelope wrapped around every editor message.
+
+    ``seq`` numbers the sender's stream to this destination (``-1`` for
+    pure acknowledgements, which are unsequenced); ``epoch`` identifies
+    the client incarnation the packet belongs to; ``ack`` is cumulative:
+    the highest seq the sender has received *in order* from the
+    destination (``-1`` if none).
+    """
+
+    seq: int
+    epoch: int
+    ack: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.seq < -1 or self.ack < -1 or self.epoch < 0:
+            raise ValueError(f"malformed packet: {self}")
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Retransmission parameters of the reliability protocol."""
+
+    base_rto: float = 0.5  # initial retransmit timeout (virtual time)
+    max_rto: float = 8.0  # backoff ceiling
+    backoff: float = 2.0  # timeout multiplier per retry round
+
+    def __post_init__(self) -> None:
+        if self.base_rto <= 0 or self.max_rto < self.base_rto or self.backoff < 1.0:
+            raise ValueError(f"malformed reliability config: {self}")
+
+
+@dataclass
+class ReliabilityStats:
+    """Per-endpoint protocol counters (aggregated by the fault report)."""
+
+    sent: int = 0
+    retransmits: int = 0
+    acks_sent: int = 0
+    duplicates_discarded: int = 0
+    stale_epoch_discarded: int = 0
+    out_of_order_held: int = 0
+    dropped_while_crashed: int = 0
+    lost_local_edits: int = 0
+    recoveries: int = 0  # clients only: completed crash restarts
+    resyncs_served: int = 0  # notifier only: recovery snapshots sent
+
+
+@dataclass
+class _PeerLink:
+    """One endpoint's reliability state toward one peer."""
+
+    epoch: int = 0
+    send_seq: int = 0  # next outgoing seq
+    unacked: dict[int, tuple[Any, int, str]] = field(default_factory=dict)
+    rto: float = 0.0
+    timer: Any = None  # pending retransmit event, if armed
+    recv_next: int = 0  # next seq to release to the editor
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the editor layer sees of its transport (structural typing).
+
+    ``send`` puts an application payload on the wire toward ``dest``;
+    ``on_wire`` accepts an envelope arriving from the network and
+    eventually invokes the editor's ``deliver`` callback (immediately
+    for the raw transport, after sequencing for the reliable one).
+    """
+
+    reliability: Optional[ReliabilityConfig]
+    stats: ReliabilityStats
+    crashed: bool
+
+    def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
+             kind: str = "op") -> None: ...
+
+    def on_wire(self, envelope: Envelope) -> None: ...
+
+    def delivered_in_order(self) -> bool: ...
+
+
+def _unwired(dest: int, payload: Any, timestamp_bytes: int, kind: str) -> None:
+    raise RuntimeError("transport has no wire_send attached")
+
+
+def _undeliverable(envelope: Envelope) -> None:
+    raise RuntimeError("transport has no deliver callback attached")
+
+
+class RawTransport:
+    """The perfect-network transport: a straight pass-through.
+
+    Keeps the same surface as :class:`ReliableEndpoint` (stats, crash
+    flag, in-order audit) so the editor layer is transport-agnostic;
+    all of it is trivially inert here.
+    """
+
+    def __init__(self, *, wire_send: WireSend = _unwired,
+                 deliver: Deliver = _undeliverable) -> None:
+        self.reliability: Optional[ReliabilityConfig] = None
+        self.stats = ReliabilityStats()
+        self.crashed = False
+        self.wire_send = wire_send
+        self.deliver = deliver
+
+    def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
+             kind: str = "op") -> None:
+        self.wire_send(dest, payload, timestamp_bytes, kind)
+
+    def on_wire(self, envelope: Envelope) -> None:
+        self.deliver(envelope)
+
+    def delivered_in_order(self) -> bool:
+        """Vacuously true: FIFO channels deliver in order by themselves."""
+        return True
+
+
+class ReliableEndpoint:
+    """One process's reliability protocol instance, as a composable object.
+
+    The endpoint talks *down* through ``wire_send`` (raw channel access
+    supplied by the owning :class:`~repro.net.process.SimProcess`) and
+    *up* through ``deliver`` (the editor's application-message handler).
+    With ``reliability=None`` it degrades to a pass-through so a single
+    code path serves both modes; prefer :func:`build_transport`, which
+    picks :class:`RawTransport` for that case.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        reliability: Optional[ReliabilityConfig] = None,
+        *,
+        wire_send: WireSend = _unwired,
+        deliver: Deliver = _undeliverable,
+    ) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.reliability = reliability
+        self.stats = ReliabilityStats()
+        self.wire_send = wire_send
+        self.deliver = deliver
+        self.crashed = False
+        self._links: dict[int, _PeerLink] = {}
+        # Out-of-order packets held for sequencing, one stream per peer.
+        self._holdback: HoldbackQueue[Envelope] = HoldbackQueue()
+        # Audit trace: per source, the (epoch, seq) of every packet
+        # actually handed to the editor, in release order.  Deliberately
+        # not link state (and not cleared on crash): the in-order audit
+        # must survive link resets and stay independent of recv_next /
+        # the holdback queue, the very mechanism it checks.
+        self._release_trace: dict[int, list[tuple[int, int]]] = {}
+
+    # -- compatibility alias ---------------------------------------------------
+
+    @property
+    def rel_stats(self) -> ReliabilityStats:
+        """Pre-refactor name of :attr:`stats`."""
+        return self.stats
+
+    # -- sending ---------------------------------------------------------------
+
+    def _link(self, peer: int) -> _PeerLink:
+        if peer not in self._links:
+            rto = self.reliability.base_rto if self.reliability else 0.0
+            self._links[peer] = _PeerLink(rto=rto)
+        return self._links[peer]
+
+    def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
+             kind: str = "op") -> None:
+        if self.reliability is None:
+            self.wire_send(dest, payload, timestamp_bytes, kind)
+            return
+        link = self._link(dest)
+        seq = link.send_seq
+        link.send_seq += 1
+        link.unacked[seq] = (payload, timestamp_bytes, kind)
+        self.stats.sent += 1
+        self._transmit(dest, link, seq, payload, timestamp_bytes, kind)
+        self._arm_timer(dest, link)
+
+    def _transmit(self, dest: int, link: _PeerLink, seq: int, payload: Any,
+                  ts_bytes: int, kind: str) -> None:
+        packet = ReliablePacket(seq=seq, epoch=link.epoch,
+                                ack=link.recv_next - 1, payload=payload)
+        self.wire_send(dest, packet, ts_bytes, kind)
+
+    def _arm_timer(self, dest: int, link: _PeerLink) -> None:
+        if link.timer is None and link.unacked:
+            link.timer = self.sim.schedule_after(
+                link.rto, lambda: self._on_timer(dest, link)
+            )
+
+    def _on_timer(self, dest: int, link: _PeerLink) -> None:
+        link.timer = None
+        # The link may have been replaced by a crash or an epoch bump
+        # since this timer was armed; a stale timer must not touch it.
+        if self.crashed or self._links.get(dest) is not link or not link.unacked:
+            return
+        assert self.reliability is not None
+        for seq in sorted(link.unacked):
+            payload, ts_bytes, kind = link.unacked[seq]
+            self.stats.retransmits += 1
+            self._transmit(dest, link, seq, payload, ts_bytes, kind)
+        link.rto = min(link.rto * self.reliability.backoff, self.reliability.max_rto)
+        self._arm_timer(dest, link)
+
+    # -- receiving -------------------------------------------------------------
+
+    def on_wire(self, envelope: Envelope) -> None:
+        if self.crashed:
+            self.stats.dropped_while_crashed += 1
+            return
+        payload = envelope.payload
+        if self.reliability is None or not isinstance(payload, ReliablePacket):
+            self.deliver(envelope)
+            return
+        self._receive_packet(envelope, payload)
+
+    def _receive_packet(self, envelope: Envelope, packet: ReliablePacket) -> None:
+        source = envelope.source
+        link = self._link(source)
+        if packet.epoch < link.epoch:
+            self.stats.stale_epoch_discarded += 1
+            return
+        if packet.epoch > link.epoch:
+            # The peer restarted into a new incarnation: everything from
+            # the old one -- send window, reorder buffer -- is void.
+            link = self.reset_link(source, packet.epoch)
+        if packet.ack >= 0:
+            self._process_ack(source, link, packet.ack)
+        if packet.seq < 0:  # pure acknowledgement
+            return
+        if packet.seq < link.recv_next:
+            # Duplicate of something already released: re-ack so the
+            # sender stops retransmitting (its ack may have been lost).
+            self.stats.duplicates_discarded += 1
+            self._send_ack(source, link)
+            return
+        if packet.seq > link.recv_next:
+            # A gap: hold the packet back until retransmission fills it.
+            # Releasing it now would reorder the stream and break the
+            # FIFO precondition of formulas (5) and (7).
+            if self._holdback.hold(source, packet.seq, envelope):
+                self.stats.out_of_order_held += 1
+            else:
+                self.stats.duplicates_discarded += 1
+            self._send_ack(source, link)
+            return
+        self._release(link, envelope)
+        while True:
+            held = self._holdback.pop(source, link.recv_next)
+            if held is None:
+                break
+            self._release(link, held)
+        self._send_ack(source, link)
+
+    def _release(self, link: _PeerLink, envelope: Envelope) -> None:
+        """Hand one in-sequence packet's payload to the editor."""
+        link.recv_next += 1
+        packet: ReliablePacket = envelope.payload
+        self._release_trace.setdefault(envelope.source, []).append(
+            (packet.epoch, packet.seq)
+        )
+        self.deliver(
+            Envelope(
+                source=envelope.source,
+                dest=envelope.dest,
+                payload=packet.payload,
+                timestamp_bytes=envelope.timestamp_bytes,
+                kind=envelope.kind,
+                message_id=envelope.message_id,
+            )
+        )
+
+    def _send_ack(self, dest: int, link: _PeerLink) -> None:
+        self.stats.acks_sent += 1
+        packet = ReliablePacket(seq=-1, epoch=link.epoch, ack=link.recv_next - 1)
+        self.wire_send(dest, packet, 0, "ack")
+
+    def _process_ack(self, dest: int, link: _PeerLink, ack: int) -> None:
+        acked = [seq for seq in link.unacked if seq <= ack]
+        for seq in acked:
+            del link.unacked[seq]
+        if acked:
+            assert self.reliability is not None
+            link.rto = self.reliability.base_rto  # progress: reset backoff
+            # Restart the retransmit clock: the surviving packets were all
+            # sent more recently than the one just acknowledged, so the
+            # old deadline would fire spuriously (a full RTO must elapse
+            # *without progress* before we suspect loss).
+            if link.timer is not None:
+                self.sim.cancel(link.timer)
+                link.timer = None
+            self._arm_timer(dest, link)
+        elif not link.unacked and link.timer is not None:
+            self.sim.cancel(link.timer)
+            link.timer = None
+
+    # -- crash / epoch management ----------------------------------------------
+
+    def go_down(self) -> None:
+        """Lose all volatile protocol state; drop traffic until revived."""
+        self.crashed = True
+        for peer, link in self._links.items():
+            if link.timer is not None:
+                self.sim.cancel(link.timer)
+            self._holdback.clear(peer)
+        self._links = {}
+
+    def revive(self) -> None:
+        """Accept traffic again (the caller then opens a fresh epoch)."""
+        self.crashed = False
+
+    def reset_link(self, peer: int, epoch: int) -> _PeerLink:
+        """Void the link state and start the given epoch from seq 0."""
+        link = _PeerLink(
+            epoch=epoch, rto=self.reliability.base_rto if self.reliability else 0.0
+        )
+        old = self._links.get(peer)
+        if old is not None and old.timer is not None:
+            self.sim.cancel(old.timer)
+        self._holdback.clear(peer)
+        self._links[peer] = link
+        return link
+
+    # -- auditing ----------------------------------------------------------------
+
+    def delivered_in_order(self) -> bool:
+        """Audit: the editor received a gap-free in-order stream.
+
+        Replays the trace of ``(epoch, seq)`` pairs actually handed to
+        ``deliver`` (recorded at release time from the packets
+        themselves, not from the holdback machinery): per source, epochs
+        must never regress and each epoch's sequence numbers must be
+        exactly ``0, 1, 2, ...`` in order.  Any drop leaking through,
+        duplicate release, swap, or stale-epoch release makes this
+        False.
+        """
+        for trace in self._release_trace.values():
+            current_epoch, expected_seq = -1, 0
+            for epoch, seq in trace:
+                if epoch < current_epoch:
+                    return False
+                if epoch > current_epoch:
+                    current_epoch, expected_seq = epoch, 0
+                if seq != expected_seq:
+                    return False
+                expected_seq += 1
+        return True
+
+
+AnyTransport = Union[RawTransport, ReliableEndpoint]
+
+
+def build_transport(
+    sim: Simulator,
+    pid: int,
+    reliability: Optional[ReliabilityConfig],
+    *,
+    wire_send: WireSend,
+    deliver: Deliver,
+) -> AnyTransport:
+    """The transport an editor endpoint should own for this config.
+
+    ``None`` selects the zero-overhead :class:`RawTransport` (the
+    perfect-network default everywhere faults are not injected); a
+    :class:`ReliabilityConfig` selects the full protocol.
+    """
+    if reliability is None:
+        return RawTransport(wire_send=wire_send, deliver=deliver)
+    return ReliableEndpoint(sim, pid, reliability,
+                            wire_send=wire_send, deliver=deliver)

@@ -1,0 +1,98 @@
+"""The shared session layer: orchestration common to star and mesh.
+
+A *session* wires a set of simulated editor processes to a topology and
+exposes the experiment surface every workload, benchmark, and test
+drives: run the event loop, compare replica documents, aggregate wire
+statistics, and collect concurrency-check diagnostics.  Star
+(:class:`repro.editor.star.StarSession`) and mesh
+(:class:`repro.editor.mesh.MeshSession`) used to duplicate all of this;
+:class:`SessionBase` is the single implementation, parameterised only
+by :meth:`SessionBase.endpoints`.
+
+:class:`CheckRecord` and :class:`ConsistencyError` also live here: a
+concurrency-check diagnostic and the compressed-verdict-vs-oracle
+failure are session-layer concepts, not star-specific ones (the paper's
+Fig. 3 assertions read them, and any future integration layer emits
+them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+
+class ConsistencyError(AssertionError):
+    """Raised when a compressed verdict disagrees with the oracle."""
+
+
+@dataclass
+class CheckRecord:
+    """One concurrency check, for diagnostics and Fig. 3 assertions."""
+
+    site: int
+    new_op_id: str
+    buffered_op_id: str
+    verdict: bool
+    new_timestamp: list[int]
+    buffered_timestamp: list[int]
+
+
+class SessionBase:
+    """Common orchestration over a simulator + topology + endpoints.
+
+    Subclasses construct ``self.sim`` and ``self.topology`` and
+    implement :meth:`endpoints`; everything else -- running, convergence
+    and quiescence checks, wire statistics, check aggregation -- is
+    shared.
+    """
+
+    sim: Any
+    topology: Any
+
+    def endpoints(self) -> Sequence[Any]:
+        """The document-bearing processes, in canonical site order."""
+        raise NotImplementedError
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run the simulation; returns the number of events executed."""
+        return self.sim.run(until=until)
+
+    # -- replica state -----------------------------------------------------------
+
+    def documents(self) -> list[Any]:
+        """Document states, one per endpoint in canonical order."""
+        return [endpoint.document for endpoint in self.endpoints()]
+
+    def converged(self) -> bool:
+        """True iff all endpoints hold equal document state."""
+        docs = self.documents()
+        return all(doc == docs[0] for doc in docs[1:])
+
+    def quiescent(self) -> bool:
+        """True iff no message is in flight and nothing is held back."""
+        if self.sim.pending_events != 0:
+            return False
+        return not any(endpoint.holdback_pending() for endpoint in self.endpoints())
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def all_checks(self) -> list[CheckRecord]:
+        """Every concurrency check recorded by any endpoint."""
+        records: list[CheckRecord] = []
+        for endpoint in self.endpoints():
+            records.extend(getattr(endpoint, "checks", ()))
+        return records
+
+    def wire_stats(self) -> Any:
+        """Aggregate wire statistics over every channel."""
+        return self.topology.total_stats()
+
+    def reliable_delivery_in_order(self) -> bool:
+        """True iff every endpoint's transport released a gap-free FIFO
+        stream to the editor (trivially true without reliability)."""
+        return all(
+            endpoint.transport.delivered_in_order() for endpoint in self.endpoints()
+        )

@@ -1,0 +1,11 @@
+"""Session-layer access to the shared hold-back queue.
+
+The implementation lives in :mod:`repro.net.holdback` because the
+reliability transport (a strictly lower layer) uses it too; importing it
+from here keeps the session layer self-contained for its consumers (the
+mesh editor, tests) without creating a net -> session import cycle.
+"""
+
+from repro.net.holdback import HoldbackQueue
+
+__all__ = ["HoldbackQueue"]

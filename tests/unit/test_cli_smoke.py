@@ -1,0 +1,80 @@
+"""End-to-end smoke tests for the ``python -m repro`` entry point.
+
+:mod:`tests.unit.test_stats_cli` drives :func:`repro.cli.main`
+in-process; these run the real module entry point in a subprocess --
+exactly what a user types -- so packaging regressions (a broken
+``__main__``, an import cycle that only fires on cold start, a stack
+layer that forgot a re-export) fail here even when in-process tests
+pass.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_repro(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestSessionSmoke:
+    def test_star_session(self):
+        result = run_repro("session", "--sites", "3", "--ops", "2", "--seed", "1")
+        assert result.returncode == 0, result.stderr
+        assert "architecture     : star" in result.stdout
+        assert "converged        : True" in result.stdout
+        assert "timestamp bytes" in result.stdout
+
+    def test_mesh_session(self):
+        result = run_repro(
+            "session", "--arch", "mesh", "--sites", "3", "--ops", "2", "--seed", "1"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "architecture     : mesh" in result.stdout
+        assert "converged        : True" in result.stdout
+
+
+class TestFaultsSmoke:
+    def test_faulty_session_recovers_end_to_end(self):
+        result = run_repro(
+            "session", "--sites", "3", "--ops", "3", "--seed", "7",
+            "--faults", "--drop", "0.15", "--dup", "0.05", "--crash", "2:3.0:5.0",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "converged        : True" in result.stdout
+        assert "fifo respected   : True" in result.stdout
+        assert "in-order release : True" in result.stdout
+        assert "recoveries=1" in result.stdout
+
+    def test_faults_flag_alone_enables_reliability(self):
+        result = run_repro("session", "--sites", "2", "--ops", "1", "--faults")
+        assert result.returncode == 0, result.stderr
+        assert "protocol: sent=" in result.stdout
+
+
+class TestFigureSmoke:
+    def test_fig3_walkthrough(self):
+        result = run_repro("fig3")
+        assert result.returncode == 0, result.stderr
+        assert "all replicas converged" in result.stdout
+
+    def test_memory_table_uses_live_clocks(self):
+        result = run_repro("memory", "--sizes", "8")
+        assert result.returncode == 0, result.stderr
+        # 8 | 8 (full VC) | 24 (SK) | 2 (client) | 8 (notifier)
+        line = [l for l in result.stdout.splitlines() if l.strip().startswith("8 ")]
+        assert line and "24" in line[0] and "2" in line[0]
