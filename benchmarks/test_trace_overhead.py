@@ -1,0 +1,81 @@
+"""Tracing overhead guard: the disabled path must be (nearly) free.
+
+The observability layer's overhead contract (see DESIGN.md and
+:mod:`repro.obs.tracer`): every hook site guards emission with a single
+``if self.tracer is not None`` attribute check, so a session constructed
+without a tracer -- the un-instrumented baseline -- pays one pointer
+comparison per hook and nothing else.  A session holding a *muted*
+tracer (``Tracer(enabled=False)``) additionally pays one early-returning
+method call per hook.
+
+This guard runs the same deterministic session in three configurations
+and asserts the muted-tracer run stays within 5% of the baseline
+(min-of-N timing, interleaved to decorrelate machine noise).  The
+fully-enabled run is reported for context but not bounded -- recording
+events is allowed to cost what it costs.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.editor.star import StarSession
+from repro.obs import Tracer
+from repro.workloads.random_session import RandomSessionConfig, drive_star_session
+
+N_SITES = 4
+OPS_PER_SITE = 12
+REPEATS = 9
+
+
+def run_session(tracer):
+    session = StarSession(N_SITES, tracer=tracer)
+    drive_star_session(
+        session,
+        RandomSessionConfig(n_sites=N_SITES, ops_per_site=OPS_PER_SITE, seed=5),
+    )
+    session.run()
+    assert session.converged()
+    return session
+
+
+def timed(tracer_factory) -> float:
+    start = time.perf_counter()
+    run_session(tracer_factory())
+    return time.perf_counter() - start
+
+
+def test_disabled_tracing_within_5_percent_of_baseline():
+    variants = {
+        "baseline (no tracer)": lambda: None,
+        "muted (enabled=False)": lambda: Tracer(enabled=False),
+        "enabled": lambda: Tracer(),
+    }
+    # Warm-up: import costs, allocator and OT caches out of the timings.
+    for factory in variants.values():
+        run_session(factory())
+    best = {name: float("inf") for name in variants}
+    for _ in range(REPEATS):  # interleaved so drift hits every variant alike
+        for name, factory in variants.items():
+            best[name] = min(best[name], timed(factory))
+    baseline = best["baseline (no tracer)"]
+    muted = best["muted (enabled=False)"]
+    enabled = best["enabled"]
+    emit(
+        "Tracing overhead (same deterministic session, min of "
+        f"{REPEATS} runs)",
+        "\n".join(
+            f"  {name:<22} {seconds * 1000:.2f} ms"
+            f"  ({seconds / baseline:.3f}x baseline)"
+            for name, seconds in best.items()
+        ),
+    )
+    assert muted <= baseline * 1.05, (
+        f"muted tracing cost {muted / baseline:.3f}x the un-instrumented "
+        f"baseline ({muted * 1000:.2f} ms vs {baseline * 1000:.2f} ms); "
+        "the disabled path must stay a no-op attribute check"
+    )
+    # Sanity: the enabled run really did record the session.
+    session = run_session(Tracer())
+    assert len(session.trace_events()) > 0
+    del enabled

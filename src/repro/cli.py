@@ -10,7 +10,11 @@ without writing any code:
 * ``overhead`` -- the CLAIM-OVH timestamp-bytes table;
 * ``memory`` -- the CLAIM-MEM storage table;
 * ``session`` -- a random N-user editing session with convergence and
-  wire statistics (star or mesh architecture).
+  wire statistics (star or mesh architecture);
+* ``trace`` -- run a traced star session (optionally under faults),
+  write JSONL + Chrome ``trace_event`` artefacts, and cross-check the
+  trace-derived happens-before relation against the ground-truth
+  oracle.
 """
 
 from __future__ import annotations
@@ -205,6 +209,106 @@ def cmd_session(args: argparse.Namespace) -> int:
     return 0 if converged else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        TraceCausality,
+        Tracer,
+        cross_check_causality,
+        latency_histograms,
+        released_without_cause,
+        verify_check_records,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    config = RandomSessionConfig(
+        n_sites=args.sites,
+        ops_per_site=args.ops,
+        seed=args.seed,
+        insert_ratio=args.insert_ratio,
+    )
+
+    def latency_factory(src: int, dst: int):
+        return JitterLatency(0.08, 0.6, random.Random(args.seed * 97 + src * 11 + dst))
+
+    # Unlike ``session``, ``trace`` has nonzero --drop/--dup defaults
+    # (so bare ``--faults`` means a genuinely lossy network); faults are
+    # therefore keyed on the explicit flags only.
+    try:
+        if args.faults or args.crash or args.outage:
+            fault_plan = _build_fault_plan(args)
+        else:
+            fault_plan = None
+    except ValueError as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    try:
+        session = StarSession(
+            args.sites,
+            initial_state=config.initial_document,
+            latency_factory=latency_factory,
+            verify_with_oracle=True,
+            fault_plan=fault_plan,
+            tracer=tracer,
+        )
+    except (ValueError, IndexError) as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    drive_star_session(session, config)
+    session.run()
+    converged = session.converged()
+
+    jsonl_path = f"{args.out}.jsonl"
+    chrome_path = f"{args.out}.chrome.json"
+    header = {
+        "sites": args.sites,
+        "ops_per_site": args.ops,
+        "seed": args.seed,
+        "faulty": fault_plan is not None,
+    }
+    with open(jsonl_path, "w", encoding="utf-8") as fh:
+        jsonl_lines = write_jsonl(tracer.events, fh, header=header)
+    with open(chrome_path, "w", encoding="utf-8") as fh:
+        chrome_records = write_chrome_trace(tracer.events, fh)
+
+    causality = TraceCausality(tracer.events)
+    report = cross_check_causality(causality, session.event_log)
+    disagreements = verify_check_records(causality, session.all_checks())
+    bad_releases = released_without_cause(tracer.events)
+    histograms = latency_histograms(tracer.events, metrics=tracer.metrics)
+
+    print(f"sites x ops      : {args.sites} x {args.ops}")
+    print(f"converged        : {converged}")
+    print(f"trace events     : {len(tracer.events)}")
+    print(f"jsonl artefact   : {jsonl_path} ({jsonl_lines} lines)")
+    print(f"chrome artefact  : {chrome_path} ({chrome_records} records)")
+    print()
+    print("event counts:")
+    print(tracer.metrics.summary())
+    print()
+    print(report.summary())
+    print(f"formula (5)/(7) verdicts vs trace: {len(disagreements)} disagreements")
+    print(f"releases without a cause: {len(bad_releases)}")
+    print()
+    print("generation -> execution latency (virtual time):")
+    for site in sorted(histograms):
+        print(f"  site {site}: {histograms[site].summary()}")
+    if args.diagram:
+        from repro.viz.spacetime import diagram_events_from_trace, render_spacetime
+
+        print()
+        print(
+            render_spacetime(
+                args.sites + 1, diagram_events_from_trace(tracer.events)
+            )
+        )
+    ok = converged and report.ok and not disagreements and not bad_releases
+    if not ok:
+        print("TRACE CHECK FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -271,6 +375,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="burst outage window on every channel (repeatable)",
     )
     p_sess.set_defaults(func=cmd_session)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced star session, write JSONL + Chrome trace "
+        "artefacts, cross-check happens-before against the oracle",
+    )
+    p_trace.add_argument("--sites", type=int, default=4)
+    p_trace.add_argument("--ops", type=int, default=6)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--insert-ratio", type=float, default=0.7)
+    p_trace.add_argument(
+        "--faults",
+        action="store_true",
+        help="run under a fault plan (enables the reliability protocol; "
+        "defaults to --drop 0.05 --dup 0.02, combine with "
+        "--drop/--dup/--crash/--outage)",
+    )
+    p_trace.add_argument(
+        "--drop", type=float, default=0.05, help="per-message drop probability"
+    )
+    p_trace.add_argument(
+        "--dup", type=float, default=0.02, help="per-message duplication probability"
+    )
+    p_trace.add_argument(
+        "--crash",
+        type=_parse_crash,
+        action="append",
+        metavar="SITE:AT:RESTART_AT",
+        help="crash a client at AT, restart at RESTART_AT (repeatable)",
+    )
+    p_trace.add_argument(
+        "--outage",
+        type=_parse_outage,
+        action="append",
+        metavar="START:END",
+        help="burst outage window on every channel (repeatable)",
+    )
+    p_trace.add_argument(
+        "--out", default="trace", help="artefact path prefix (default: trace)"
+    )
+    p_trace.add_argument(
+        "--diagram",
+        action="store_true",
+        help="also print a Fig. 2/3-style space-time diagram of the trace",
+    )
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -37,6 +37,7 @@ from repro.net.channel import LatencyModel
 from repro.net.simulator import Simulator
 from repro.net.topology import MeshTopology
 from repro.net.transport import Envelope
+from repro.obs.tracer import TraceEventKind, Tracer
 from repro.ot.operations import Operation
 from repro.ot.transform import exclusion_transform, inclusion_transform
 from repro.session import EditorEndpoint, HoldbackQueue, SessionBase
@@ -156,8 +157,9 @@ class MeshSite(EditorEndpoint):
         pid: int,
         n_sites: int,
         initial_document: str = "",
+        tracer: Tracer | None = None,
     ) -> None:
-        super().__init__(sim, pid)
+        super().__init__(sim, pid, tracer=tracer)
         self.n_sites = n_sites
         self.initial_document = initial_document
         self.checkpoint = initial_document  # base document after compaction
@@ -184,6 +186,12 @@ class MeshSite(EditorEndpoint):
         self.seq += 1
         self.vc = self.vc.tick(self.pid)
         record = MeshOp(op=op, vc=self.vc, site=self.pid, seq=self.seq)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.GENERATED, self.pid, op_id=record.op_id,
+                seq=record.seq,
+                timestamp=tuple(record.vc[j] for j in range(self.n_sites)),
+            )
         self._integrate(record)
         for dest in range(self.n_sites):
             if dest != self.pid:
@@ -197,6 +205,11 @@ class MeshSite(EditorEndpoint):
         # Stream = sender site, seq = the sender's generation index for
         # this operation (``record.vc[record.site] == record.seq``).
         self.hold_back.hold(record.site, record.seq, record)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.HELD_BACK, self.pid, op_id=record.op_id,
+                peer=record.site, seq=record.seq,
+            )
         self._drain_hold_back()
 
     def _causally_ready(self, record: MeshOp) -> bool:
@@ -219,7 +232,17 @@ class MeshSite(EditorEndpoint):
         ):
             self.vc = self.vc.merge(record.vc)
             self.known_vc[record.site] = record.vc
+            if self.tracer is not None:
+                self.tracer.emit(
+                    TraceEventKind.RELEASED, self.pid, op_id=record.op_id,
+                    peer=record.site, seq=record.seq, via="holdback",
+                )
             self._integrate(record)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    TraceEventKind.EXECUTED, self.pid, op_id=record.op_id,
+                    timestamp=tuple(record.vc[j] for j in range(self.n_sites)),
+                )
 
     # -- canonical replay -----------------------------------------------------
 
@@ -313,12 +336,17 @@ class MeshSession(SessionBase):
         n_sites: int,
         initial_document: str = "",
         latency_factory: Callable[[int, int], LatencyModel] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if n_sites < 2:
             raise ValueError("a mesh session needs at least two sites")
         self.sim = Simulator()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.sim.now)
         self.sites = [
-            MeshSite(self.sim, pid, n_sites, initial_document) for pid in range(n_sites)
+            MeshSite(self.sim, pid, n_sites, initial_document, tracer=tracer)
+            for pid in range(n_sites)
         ]
         self.topology = MeshTopology(self.sim, self.sites, latency_factory)
 

@@ -21,7 +21,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, TextIO
 
-from repro.editor.star import StarSession
+from repro.editor import StarSession
 from repro.ot.operations import Delete, Identity, Insert, Operation, OperationGroup
 
 

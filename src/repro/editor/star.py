@@ -79,6 +79,7 @@ from repro.net.reliability import (
 )
 from repro.net.simulator import Simulator
 from repro.net.topology import StarTopology
+from repro.obs.tracer import Tracer
 from repro.session import CheckRecord, ConsistencyError, SessionBase
 
 __all__ = [
@@ -115,12 +116,16 @@ class StarSession(SessionBase):
         record_checks: bool = True,
         fault_plan: FaultPlan | None = None,
         reliability: ReliabilityConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = Simulator()
         self._ot_type_name = ot_type_name
         self._transform_enabled = transform_enabled
         self._record_checks = record_checks
         self.fault_plan = fault_plan
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.sim.now)
         # Faults demand the reliability protocol; without faults it is
         # opt-in (and off by default, keeping the perfect-network wire
         # accounting byte-for-byte identical to the paper's).
@@ -138,6 +143,7 @@ class StarSession(SessionBase):
             transform_enabled,
             record_checks,
             reliability=reliability,
+            tracer=tracer,
         )
         self.clients = [
             StarClient(
@@ -150,6 +156,7 @@ class StarSession(SessionBase):
                 transform_enabled,
                 record_checks,
                 reliability=reliability,
+                tracer=tracer,
             )
             for i in range(1, n_sites + 1)
         ]
@@ -196,6 +203,7 @@ class StarSession(SessionBase):
             self._record_checks,
             joining=True,
             reliability=self.reliability,
+            tracer=self.tracer,
         )
         self.clients.append(client)
 

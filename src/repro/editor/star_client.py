@@ -25,6 +25,7 @@ from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
 from repro.net.reliability import ReliabilityConfig, ReliableEndpoint
 from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
+from repro.obs.tracer import TraceEventKind, Tracer
 from repro.ot.types import get_type
 from repro.session import CheckRecord, ConsistencyError, EditorEndpoint
 
@@ -64,10 +65,11 @@ class StarClient(EditorEndpoint):
         record_checks: bool = True,
         joining: bool = False,
         reliability: ReliabilityConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if site_id <= 0:
             raise ValueError(f"client site ids are 1..N, got {site_id}")
-        super().__init__(sim, site_id, reliability)
+        super().__init__(sim, site_id, reliability, tracer)
         self.ot = get_type(ot_type_name)
         self.document = self.ot.initial() if initial_state is None else initial_state
         self.sv = ClientStateVector(site_id)
@@ -144,6 +146,11 @@ class StarClient(EditorEndpoint):
         self._last_exec_was_local = True
         if self.event_log is not None:
             self.event_log.generate(self.pid, op_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.GENERATED, self.pid, op_id=op_id,
+                timestamp=tuple(ts.as_paper_list()),
+            )
         message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
         self.send(0, message, timestamp_bytes=ts.size_bytes())
         return op_id
@@ -182,6 +189,11 @@ class StarClient(EditorEndpoint):
                 )
         new_op = message.op
         if self.transform_enabled:
+            if self.pending and self.tracer is not None:
+                self.tracer.emit(
+                    TraceEventKind.TRANSFORMED, self.pid, op_id=message.op_id,
+                    source_op_id=message.source_op_id,
+                )
             for entry in self.pending:
                 new_op, updated = self.ot.transform(
                     new_op, entry.op, message.origin_site < entry.origin_site
@@ -207,6 +219,11 @@ class StarClient(EditorEndpoint):
         self._last_exec_was_local = False
         if self.event_log is not None:
             self.event_log.execute(self.pid, message.op_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.EXECUTED, self.pid, op_id=message.op_id,
+                timestamp=tuple(ts.as_paper_list()),
+            )
 
     def _concurrency_pass(self, message: OpMessage) -> list[HistoryEntry]:
         """Run formula (5) over the HB; record and (optionally) verify."""
@@ -286,6 +303,7 @@ class StarClient(EditorEndpoint):
         """
         if self.active:
             raise ConsistencyError(f"site {self.pid} received a second snapshot")
+        recovering = self._recovering
         self.document = snapshot.document
         if self._recovering:
             self.sv = ClientStateVector(
@@ -300,6 +318,12 @@ class StarClient(EditorEndpoint):
         else:
             self.sv.received_from_center = snapshot.base_count
         self.active = True
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.RECOVERED, self.pid, peer=0,
+                epoch=self.crash_count if recovering else 0,
+                via="resync" if recovering else "join",
+            )
 
     # -- crash / recovery -------------------------------------------------------
 
@@ -311,6 +335,8 @@ class StarClient(EditorEndpoint):
         self.active = False
         self._recovering = False
         self.crash_count += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEventKind.CRASHED, self.pid, epoch=self.crash_count)
         self.document = self.ot.initial()
         self.sv = ClientStateVector(self.pid)
         self.hb = HistoryBuffer()

@@ -27,6 +27,7 @@ from repro.editor.star_client import execute_remote
 from repro.net.reliability import ReliabilityConfig
 from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
+from repro.obs.tracer import TraceEventKind, Tracer
 from repro.ot.types import get_type
 from repro.session import CheckRecord, ConsistencyError, EditorEndpoint
 
@@ -65,8 +66,9 @@ class StarNotifier(EditorEndpoint):
         transform_enabled: bool = True,
         record_checks: bool = True,
         reliability: ReliabilityConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
-        super().__init__(sim, 0, reliability)
+        super().__init__(sim, 0, reliability, tracer)
         if n_sites < 1:
             raise ValueError(f"need at least one collaborating site, got {n_sites}")
         self.n_sites = n_sites
@@ -92,7 +94,7 @@ class StarNotifier(EditorEndpoint):
 
     def _handle_app_message(self, envelope: Envelope) -> None:
         if isinstance(envelope.payload, ResyncRequest):
-            self._serve_resync(envelope.source)
+            self._serve_resync(envelope.source, envelope.payload.epoch)
             return
         message: OpMessage = envelope.payload
         source = envelope.source
@@ -139,6 +141,18 @@ class StarNotifier(EditorEndpoint):
         if self.event_log is not None:
             self.event_log.execute(0, message.op_id)
             self.event_log.generate(0, transformed_id)
+        if self.tracer is not None:
+            # Execution of the incoming form, then generation of the
+            # transformed form "at site 0" -- mirroring the event log.
+            self.tracer.emit(
+                TraceEventKind.EXECUTED, 0, op_id=message.op_id,
+                timestamp=tuple(ts.as_paper_list()),
+            )
+            self.tracer.emit(
+                TraceEventKind.TRANSFORMED, 0, op_id=transformed_id,
+                source_op_id=message.op_id,
+                timestamp=tuple(self.sv.full_timestamp().as_paper_list()),
+            )
         self.hb.append(
             HistoryEntry(
                 op=new_op,
@@ -221,6 +235,8 @@ class StarNotifier(EditorEndpoint):
         self.n_sites = site_id
         self.sent_to[site_id] = deque()
         self.acked[site_id] = self.sv.total()
+        if self.tracer is not None:
+            self.tracer.emit(TraceEventKind.SNAPSHOT, 0, peer=site_id, epoch=0)
         self.send(
             site_id,
             SnapshotMessage(document=self.document, base_count=self.sv.total()),
@@ -228,7 +244,7 @@ class StarNotifier(EditorEndpoint):
             kind="snapshot",
         )
 
-    def _serve_resync(self, site: int) -> None:
+    def _serve_resync(self, site: int, epoch: int) -> None:
         """Re-admit a crashed-and-restarted client.
 
         The snapshot covers everything executed at site 0, so nothing
@@ -251,6 +267,8 @@ class StarNotifier(EditorEndpoint):
         origin_clock = None
         if self.event_log is not None:
             origin_clock = self.event_log.site_clock(0)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEventKind.SNAPSHOT, 0, peer=site, epoch=epoch)
         self.send(
             site,
             SnapshotMessage(

@@ -30,11 +30,17 @@ Stream = Hashable
 
 
 class HoldbackQueue(Generic[T]):
-    """Out-of-order items indexed by ``(stream, seq)`` until deliverable."""
+    """Out-of-order items indexed by ``(stream, seq)`` until deliverable.
+
+    ``max_held`` records the peak simultaneous occupancy over the
+    queue's lifetime -- the observability layer reports it as the
+    high-water mark of the reorder buffer.
+    """
 
     def __init__(self) -> None:
         self._streams: dict[Stream, dict[int, T]] = {}
         self._held = 0
+        self.max_held = 0
 
     def hold(self, stream: Stream, seq: int, item: T) -> bool:
         """Buffer ``item`` at ``(stream, seq)``.
@@ -47,6 +53,8 @@ class HoldbackQueue(Generic[T]):
             return False
         slots[seq] = item
         self._held += 1
+        if self._held > self.max_held:
+            self.max_held = self._held
         return True
 
     def pop(self, stream: Stream, seq: int) -> Optional[T]:

@@ -37,9 +37,21 @@ from typing import Any, Callable, Optional, Protocol, Union, runtime_checkable
 from repro.net.holdback import HoldbackQueue
 from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
+from repro.obs.tracer import Tracer, TraceEventKind
 
 WireSend = Callable[[int, Any, int, str], None]
 Deliver = Callable[[Envelope], None]
+
+
+def _traced_op_id(payload: Any) -> Optional[str]:
+    """The application-level op id a payload carries, if any.
+
+    Duck-typed (like :func:`repro.net.transport.measure_payload_bytes`)
+    so the transport layer can stamp trace events with the op they move
+    without depending on the editor layer's message types.
+    """
+    op_id = getattr(payload, "op_id", None)
+    return op_id if isinstance(op_id, str) else None
 
 
 @dataclass(frozen=True)
@@ -117,6 +129,7 @@ class Transport(Protocol):
     reliability: Optional[ReliabilityConfig]
     stats: ReliabilityStats
     crashed: bool
+    tracer: Optional[Tracer]
 
     def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
              kind: str = "op") -> None: ...
@@ -143,18 +156,30 @@ class RawTransport:
     """
 
     def __init__(self, *, wire_send: WireSend = _unwired,
-                 deliver: Deliver = _undeliverable) -> None:
+                 deliver: Deliver = _undeliverable, pid: int = -1,
+                 tracer: Optional[Tracer] = None) -> None:
         self.reliability: Optional[ReliabilityConfig] = None
         self.stats = ReliabilityStats()
         self.crashed = False
         self.wire_send = wire_send
         self.deliver = deliver
+        self.pid = pid
+        self.tracer = tracer
 
     def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
              kind: str = "op") -> None:
+        if self.tracer is not None:
+            self.tracer.emit(TraceEventKind.SENT, self.pid, peer=dest,
+                             op_id=_traced_op_id(payload))
         self.wire_send(dest, payload, timestamp_bytes, kind)
 
     def on_wire(self, envelope: Envelope) -> None:
+        if self.tracer is not None:
+            # A perfect FIFO channel delivers every arrival in order.
+            self.tracer.emit(TraceEventKind.RELEASED, self.pid,
+                             peer=envelope.source,
+                             op_id=_traced_op_id(envelope.payload),
+                             via="direct")
         self.deliver(envelope)
 
     def delivered_in_order(self) -> bool:
@@ -181,6 +206,7 @@ class ReliableEndpoint:
         *,
         wire_send: WireSend = _unwired,
         deliver: Deliver = _undeliverable,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.pid = pid
@@ -188,6 +214,7 @@ class ReliableEndpoint:
         self.stats = ReliabilityStats()
         self.wire_send = wire_send
         self.deliver = deliver
+        self.tracer = tracer
         self.crashed = False
         self._links: dict[int, _PeerLink] = {}
         # Out-of-order packets held for sequencing, one stream per peer.
@@ -217,6 +244,9 @@ class ReliableEndpoint:
     def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
              kind: str = "op") -> None:
         if self.reliability is None:
+            if self.tracer is not None:
+                self.tracer.emit(TraceEventKind.SENT, self.pid, peer=dest,
+                                 op_id=_traced_op_id(payload))
             self.wire_send(dest, payload, timestamp_bytes, kind)
             return
         link = self._link(dest)
@@ -224,6 +254,10 @@ class ReliableEndpoint:
         link.send_seq += 1
         link.unacked[seq] = (payload, timestamp_bytes, kind)
         self.stats.sent += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEventKind.SENT, self.pid, peer=dest,
+                             epoch=link.epoch, seq=seq,
+                             op_id=_traced_op_id(payload))
         self._transmit(dest, link, seq, payload, timestamp_bytes, kind)
         self._arm_timer(dest, link)
 
@@ -249,6 +283,10 @@ class ReliableEndpoint:
         for seq in sorted(link.unacked):
             payload, ts_bytes, kind = link.unacked[seq]
             self.stats.retransmits += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEventKind.RETRANSMITTED, self.pid,
+                                 peer=dest, epoch=link.epoch, seq=seq,
+                                 op_id=_traced_op_id(payload))
             self._transmit(dest, link, seq, payload, ts_bytes, kind)
         link.rto = min(link.rto * self.reliability.backoff, self.reliability.max_rto)
         self._arm_timer(dest, link)
@@ -261,6 +299,10 @@ class ReliableEndpoint:
             return
         payload = envelope.payload
         if self.reliability is None or not isinstance(payload, ReliablePacket):
+            if self.tracer is not None:
+                self.tracer.emit(TraceEventKind.RELEASED, self.pid,
+                                 peer=envelope.source,
+                                 op_id=_traced_op_id(payload), via="direct")
             self.deliver(envelope)
             return
         self._receive_packet(envelope, payload)
@@ -291,25 +333,36 @@ class ReliableEndpoint:
             # FIFO precondition of formulas (5) and (7).
             if self._holdback.hold(source, packet.seq, envelope):
                 self.stats.out_of_order_held += 1
+                if self.tracer is not None:
+                    self.tracer.emit(TraceEventKind.HELD_BACK, self.pid,
+                                     peer=source, epoch=packet.epoch,
+                                     seq=packet.seq,
+                                     op_id=_traced_op_id(packet.payload))
             else:
                 self.stats.duplicates_discarded += 1
             self._send_ack(source, link)
             return
-        self._release(link, envelope)
+        self._release(link, envelope, via="direct")
         while True:
             held = self._holdback.pop(source, link.recv_next)
             if held is None:
                 break
-            self._release(link, held)
+            self._release(link, held, via="holdback")
         self._send_ack(source, link)
 
-    def _release(self, link: _PeerLink, envelope: Envelope) -> None:
+    def _release(self, link: _PeerLink, envelope: Envelope,
+                 via: str = "direct") -> None:
         """Hand one in-sequence packet's payload to the editor."""
         link.recv_next += 1
         packet: ReliablePacket = envelope.payload
         self._release_trace.setdefault(envelope.source, []).append(
             (packet.epoch, packet.seq)
         )
+        if self.tracer is not None:
+            self.tracer.emit(TraceEventKind.RELEASED, self.pid,
+                             peer=envelope.source, epoch=packet.epoch,
+                             seq=packet.seq,
+                             op_id=_traced_op_id(packet.payload), via=via)
         self.deliver(
             Envelope(
                 source=envelope.source,
@@ -408,14 +461,18 @@ def build_transport(
     *,
     wire_send: WireSend,
     deliver: Deliver,
+    tracer: Optional[Tracer] = None,
 ) -> AnyTransport:
     """The transport an editor endpoint should own for this config.
 
     ``None`` selects the zero-overhead :class:`RawTransport` (the
     perfect-network default everywhere faults are not injected); a
-    :class:`ReliabilityConfig` selects the full protocol.
+    :class:`ReliabilityConfig` selects the full protocol.  ``tracer``
+    hooks the transport into the observability layer; the disabled
+    (``None``) path costs one attribute check per send/arrival.
     """
     if reliability is None:
-        return RawTransport(wire_send=wire_send, deliver=deliver)
+        return RawTransport(wire_send=wire_send, deliver=deliver, pid=pid,
+                            tracer=tracer)
     return ReliableEndpoint(sim, pid, reliability,
-                            wire_send=wire_send, deliver=deliver)
+                            wire_send=wire_send, deliver=deliver, tracer=tracer)

@@ -1,0 +1,62 @@
+"""The observability layer: causal tracing and metrics for the stack.
+
+Cross-cutting and strictly below every other ``repro`` package: the
+tracer core (:mod:`repro.obs.tracer`) is stdlib-only so any layer can
+import it without cycles, and the analysis side
+(:mod:`repro.obs.analysis`) reaches upward to the ground-truth oracle
+only lazily, inside functions.  The pieces:
+
+* :class:`Tracer` / :class:`TraceEvent` -- structured protocol events
+  (generated / sent / retransmitted / held back / released /
+  transformed / executed / snapshot / crashed / recovered), emitted by
+  every layer boundary through an optional hook whose disabled path is
+  a single attribute check;
+* :class:`MetricsRegistry` / :class:`Histogram` -- named counters and
+  value histograms;
+* :class:`TraceCausality` -- happens-before reconstructed from a
+  recorded trace, cross-checked against the ground-truth oracle by
+  :func:`cross_check_causality`;
+* :func:`latency_histograms` -- per-site generation-to-execution
+  latency from the same trace;
+* JSONL and Chrome ``trace_event`` serialisation.
+"""
+
+from repro.obs.analysis import (
+    CrossCheckReport,
+    TraceAnalysisError,
+    TraceCausality,
+    cross_check_causality,
+    latency_histograms,
+    released_without_cause,
+    verify_check_records,
+)
+from repro.obs.tracer import (
+    TRACE_FORMAT,
+    Histogram,
+    MetricsRegistry,
+    TraceEvent,
+    TraceEventKind,
+    Tracer,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "TRACE_FORMAT",
+    "CrossCheckReport",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceAnalysisError",
+    "TraceCausality",
+    "TraceEvent",
+    "TraceEventKind",
+    "Tracer",
+    "cross_check_causality",
+    "latency_histograms",
+    "read_jsonl",
+    "released_without_cause",
+    "verify_check_records",
+    "write_chrome_trace",
+    "write_jsonl",
+]

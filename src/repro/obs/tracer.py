@@ -1,0 +1,379 @@
+"""The structured protocol tracer and the counters/histograms registry.
+
+Every layer of the editor protocol stack (transport, causality,
+integration, session -- see DESIGN.md "Architecture layers") accepts an
+optional :class:`Tracer` and emits a :class:`TraceEvent` at each
+protocol step an operation passes through: generation, transport send,
+retransmission, hold-back, in-order release, transformation, execution,
+crash and recovery.  Each event is stamped with the site, the virtual
+time, and -- where the layer knows them -- the reliability epoch and
+sequence number and the operation's compressed timestamp.
+
+The module is deliberately zero-dependency (stdlib only) and sits below
+every other ``repro`` package, so any layer may import it without
+creating a cycle.
+
+Overhead contract
+-----------------
+Tracing is **opt-in**.  The disabled path at every hook site is a single
+attribute check (``if self.tracer is not None``) -- no event object is
+built, no string is formatted, nothing is appended.  A session
+constructed without a tracer therefore runs the exact same instruction
+stream as before instrumentation, plus one pointer comparison per hook;
+``benchmarks/test_trace_overhead.py`` guards this at <= 5%.  A
+:class:`Tracer` constructed with ``enabled=False`` additionally makes
+``emit`` itself a no-op, for call sites that hold a tracer object but
+want to mute it.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, TextIO
+
+TRACE_FORMAT = "repro-obs-trace-v1"
+
+
+class TraceEventKind(enum.Enum):
+    """The event taxonomy: what can happen to an operation in flight."""
+
+    GENERATED = "generated"  # a site generated (and locally executed) an op
+    SENT = "sent"  # the transport put an application payload on the wire
+    RETRANSMITTED = "retransmitted"  # the reliability protocol resent a packet
+    HELD_BACK = "held_back"  # an arrival was buffered awaiting its turn
+    RELEASED = "released"  # an arrival was handed up to the editor
+    TRANSFORMED = "transformed"  # an op was transformed against concurrent ops
+    EXECUTED = "executed"  # a site executed a remote operation
+    SNAPSHOT = "snapshot"  # the notifier served a state snapshot
+    CRASHED = "crashed"  # a client lost its volatile state
+    RECOVERED = "recovered"  # a client installed a snapshot and went active
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured protocol event.
+
+    ``index`` is the global emission index (the trace is appended in
+    simulation order, so it is also a topological order of the causal
+    structure the events describe).  Optional fields are ``None`` when
+    the emitting layer does not know them: transport events carry
+    ``epoch``/``seq`` but no compressed timestamp, editor events the
+    reverse.  ``via`` qualifies releases (``"direct"`` vs
+    ``"holdback"``) and recoveries (``"join"`` vs ``"resync"``).
+    """
+
+    index: int
+    kind: TraceEventKind
+    time: float
+    site: int
+    op_id: Optional[str] = None
+    peer: Optional[int] = None
+    epoch: Optional[int] = None
+    seq: Optional[int] = None
+    timestamp: Optional[tuple[int, ...]] = None
+    source_op_id: Optional[str] = None
+    via: Optional[str] = None
+
+    def to_json(self) -> str:
+        """One compact JSON object; ``None`` fields are omitted."""
+        data: dict[str, Any] = {
+            "i": self.index,
+            "kind": self.kind.value,
+            "t": self.time,
+            "site": self.site,
+        }
+        if self.op_id is not None:
+            data["op"] = self.op_id
+        if self.peer is not None:
+            data["peer"] = self.peer
+        if self.epoch is not None:
+            data["epoch"] = self.epoch
+        if self.seq is not None:
+            data["seq"] = self.seq
+        if self.timestamp is not None:
+            data["ts"] = list(self.timestamp)
+        if self.source_op_id is not None:
+            data["src"] = self.source_op_id
+        if self.via is not None:
+            data["via"] = self.via
+        return json.dumps(data, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        data = json.loads(line)
+        timestamp = data.get("ts")
+        return cls(
+            index=int(data["i"]),
+            kind=TraceEventKind(data["kind"]),
+            time=float(data["t"]),
+            site=int(data["site"]),
+            op_id=data.get("op"),
+            peer=data.get("peer"),
+            epoch=data.get("epoch"),
+            seq=data.get("seq"),
+            timestamp=tuple(timestamp) if timestamp is not None else None,
+            source_op_id=data.get("src"),
+            via=data.get("via"),
+        )
+
+
+class Histogram:
+    """A plain value-recording histogram with summary statistics."""
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError("empty histogram has no minimum")
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError("empty histogram has no maximum")
+        return max(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError("empty histogram has no mean")
+        return sum(self.values) / len(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            raise ValueError("empty histogram has no percentiles")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.values)
+        rank = max(1, -(-int(p * len(ordered)) // 100))  # ceil without floats
+        rank = min(rank, len(ordered))
+        if p == 0.0:
+            rank = 1
+        return ordered[rank - 1]
+
+    def summary(self) -> str:
+        if not self.values:
+            return "n=0"
+        return (
+            f"n={self.count} min={self.minimum:.4g} p50={self.percentile(50):.4g} "
+            f"p95={self.percentile(95):.4g} max={self.maximum:.4g} "
+            f"mean={self.mean:.4g}"
+        )
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first touch."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, by: int = 1) -> int:
+        """Bump counter ``name`` by ``by``; returns the new value."""
+        value = self._counters.get(name, 0) + by
+        self._counters[name] = value
+        return value
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram()
+            self._histograms[name] = hist
+        return hist
+
+    def counters(self) -> dict[str, int]:
+        """A sorted snapshot of every counter."""
+        return dict(sorted(self._counters.items()))
+
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def summary(self) -> str:
+        lines = [f"  {name} = {value}" for name, value in self.counters().items()]
+        lines.extend(
+            f"  {name}: {hist.summary()}"
+            for name, hist in self.histograms().items()
+        )
+        return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from every instrumented layer.
+
+    A tracer is shared by all endpoints of a session; the session binds
+    the simulator clock via :meth:`bind_clock` so events are stamped
+    with virtual time.  ``emit`` also bumps a ``trace.<kind>`` counter
+    in the bundled :class:`MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock: Callable[[], float] = clock if clock is not None else _zero_clock
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Stamp subsequent events with ``clock()`` (the session's sim)."""
+        self._clock = clock
+
+    def emit(
+        self,
+        kind: TraceEventKind,
+        site: int,
+        *,
+        op_id: Optional[str] = None,
+        peer: Optional[int] = None,
+        epoch: Optional[int] = None,
+        seq: Optional[int] = None,
+        timestamp: Optional[tuple[int, ...]] = None,
+        source_op_id: Optional[str] = None,
+        via: Optional[str] = None,
+        time: Optional[float] = None,
+    ) -> Optional[TraceEvent]:
+        """Append one event (returns it), or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            index=len(self.events),
+            kind=kind,
+            time=self._clock() if time is None else time,
+            site=site,
+            op_id=op_id,
+            peer=peer,
+            epoch=epoch,
+            seq=seq,
+            timestamp=timestamp,
+            source_op_id=source_op_id,
+            via=via,
+        )
+        self.events.append(event)
+        self.metrics.inc(f"trace.{kind.value}")
+        return event
+
+    def by_kind(self, kind: TraceEventKind) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# -- serialisation ---------------------------------------------------------------
+
+
+def write_jsonl(
+    events: Iterable[TraceEvent], fh: TextIO, header: Optional[dict[str, Any]] = None
+) -> int:
+    """Write a header line plus one JSON line per event; returns lines."""
+    head: dict[str, Any] = {"format": TRACE_FORMAT}
+    if header:
+        head.update(header)
+    fh.write(json.dumps(head, sort_keys=True) + "\n")
+    count = 1
+    for event in events:
+        fh.write(event.to_json() + "\n")
+        count += 1
+    return count
+
+
+def read_jsonl(fh: TextIO) -> tuple[dict[str, Any], list[TraceEvent]]:
+    """Read a trace written by :func:`write_jsonl`; (header, events)."""
+    lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace file")
+    header = json.loads(lines[0])
+    if header.get("format") != TRACE_FORMAT:
+        raise ValueError(f"unknown trace format {header.get('format')!r}")
+    return header, [TraceEvent.from_json(line) for line in lines[1:]]
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], fh: TextIO) -> int:
+    """Export in Chrome ``trace_event`` format (load in chrome://tracing).
+
+    Each protocol event becomes an instant event on the emitting site's
+    track (pid = site), and every operation additionally gets an async
+    span from its generation to its last execution, so per-op
+    end-to-end latency is visible as a bar.  Virtual time is mapped
+    1 s -> 1 ms of trace time (the ``ts`` field is microseconds).
+    Returns the number of trace records written.
+    """
+    records: list[dict[str, Any]] = []
+    spans: dict[str, tuple[float, float]] = {}  # op -> (first gen, last exec)
+    for event in events:
+        args: dict[str, Any] = {"index": event.index}
+        if event.op_id is not None:
+            args["op"] = event.op_id
+        if event.peer is not None:
+            args["peer"] = event.peer
+        if event.epoch is not None:
+            args["epoch"] = event.epoch
+        if event.seq is not None:
+            args["seq"] = event.seq
+        if event.timestamp is not None:
+            args["timestamp"] = list(event.timestamp)
+        if event.source_op_id is not None:
+            args["source_op"] = event.source_op_id
+        if event.via is not None:
+            args["via"] = event.via
+        records.append(
+            {
+                "name": event.kind.value,
+                "cat": "protocol",
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": event.time * 1000.0,
+                "pid": event.site,
+                "tid": 0,
+                "args": args,
+            }
+        )
+        if event.kind is TraceEventKind.GENERATED and event.op_id is not None:
+            spans.setdefault(event.op_id, (event.time, event.time))
+        if event.kind is TraceEventKind.EXECUTED and event.op_id is not None:
+            key = event.op_id.rstrip("'")
+            start, _ = spans.get(key, (event.time, event.time))
+            spans[key] = (start, event.time)
+    for op_id, (start, end) in sorted(spans.items()):
+        for phase, ts in (("b", start), ("e", end)):
+            records.append(
+                {
+                    "name": f"op {op_id}",
+                    "cat": "op",
+                    "ph": phase,
+                    "id": op_id,
+                    "ts": ts * 1000.0,
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+    json.dump({"traceEvents": records, "displayTimeUnit": "ms"}, fh)
+    return len(records)

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
+from repro.obs.tracer import TraceEvent, Tracer
+
 
 class ConsistencyError(AssertionError):
     """Raised when a compressed verdict disagrees with the oracle."""
@@ -49,6 +51,7 @@ class SessionBase:
 
     sim: Any
     topology: Any
+    tracer: Optional[Tracer] = None
 
     def endpoints(self) -> Sequence[Any]:
         """The document-bearing processes, in canonical site order."""
@@ -58,7 +61,15 @@ class SessionBase:
 
     def run(self, until: Optional[float] = None) -> int:
         """Run the simulation; returns the number of events executed."""
-        return self.sim.run(until=until)
+        executed = self.sim.run(until=until)
+        if self.tracer is not None:
+            self.tracer.metrics.inc("session.runs")
+            self.tracer.metrics.inc("session.sim_events", executed)
+        return int(executed)
+
+    def trace_events(self) -> Sequence[TraceEvent]:
+        """Events recorded so far (empty without an attached tracer)."""
+        return () if self.tracer is None else self.tracer.events
 
     # -- replica state -----------------------------------------------------------
 

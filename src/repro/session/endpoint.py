@@ -30,6 +30,7 @@ from repro.net.reliability import (
 )
 from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
+from repro.obs.tracer import Tracer
 
 
 class EditorEndpoint(SimProcess):
@@ -38,14 +39,17 @@ class EditorEndpoint(SimProcess):
     transport: AnyTransport
 
     def __init__(self, sim: Simulator, pid: int,
-                 reliability: Optional[ReliabilityConfig] = None) -> None:
+                 reliability: Optional[ReliabilityConfig] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         super().__init__(sim, pid)
+        self.tracer = tracer
         self.transport = build_transport(
             sim,
             pid,
             reliability,
             wire_send=self._wire_send,
             deliver=self._handle_app_message,
+            tracer=tracer,
         )
 
     # -- wiring ------------------------------------------------------------------

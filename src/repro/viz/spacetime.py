@@ -4,13 +4,18 @@ The examples regenerate the paper's figures as terminal art:
 :func:`render_star_topology` draws Fig. 1 (clients around the notifier)
 and :func:`render_spacetime` draws Fig. 2/3-style diagrams (sites as
 columns, virtual time flowing downward, one row per generation or
-execution event).
+execution event).  :func:`diagram_events_from_trace` turns a recorded
+observability trace (:mod:`repro.obs`) into diagram rows, so the Fig.
+2/3 rendering works from *actual executions*, not only hand-built
+scripts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import TraceEvent, TraceEventKind
 
 
 def render_star_topology(n_clients: int, max_named: int = 8) -> str:
@@ -24,9 +29,15 @@ def render_star_topology(n_clients: int, max_named: int = 8) -> str:
     lines.append("          |  REDUCE  notifier  |")
     lines.append("          |      (site 0)      |")
     lines.append("          +--------------------+")
-    spokes = "            " + " ".join("/" if i % 2 == 0 else "\\" for i in range(min(shown, 6)))
-    lines.append(spokes)
-    row = "   ".join(f"[site {i}]" for i in range(1, shown + 1))
+    # One spoke per shown client, centred over its [site i] cell below.
+    cells = [f"[site {i}]" for i in range(1, shown + 1)]
+    spoke_row = [" "] * (2 + sum(len(cell) + 3 for cell in cells))
+    pos = 2
+    for index, cell in enumerate(cells):
+        spoke_row[pos + len(cell) // 2] = "/" if index % 2 == 0 else "\\"
+        pos += len(cell) + 3
+    lines.append("".join(spoke_row).rstrip())
+    row = "   ".join(cells)
     lines.append("  " + row)
     if n_clients > shown:
         lines.append(f"  ... and {n_clients - shown} more collaborating applets")
@@ -64,3 +75,45 @@ def render_spacetime(
             )
         lines.append("".join(cells) + f"  t={event.time:g}")
     return "\n".join(lines)
+
+
+# Diagram labels for the causally meaningful trace event kinds.
+_TRACE_LABELS = {
+    TraceEventKind.GENERATED: "gen",
+    TraceEventKind.TRANSFORMED: "xform",
+    TraceEventKind.EXECUTED: "exec",
+    TraceEventKind.CRASHED: "crash",
+    TraceEventKind.RECOVERED: "recover",
+    TraceEventKind.SNAPSHOT: "snapshot",
+}
+
+
+def diagram_events_from_trace(
+    trace_events: Iterable[TraceEvent],
+    include: frozenset[TraceEventKind] = frozenset(
+        (
+            TraceEventKind.GENERATED,
+            TraceEventKind.EXECUTED,
+            TraceEventKind.CRASHED,
+            TraceEventKind.RECOVERED,
+        )
+    ),
+) -> list[DiagramEvent]:
+    """Diagram rows from a recorded trace (one row per included event).
+
+    The default selection -- generations, executions, crashes and
+    recoveries -- reproduces the paper's Fig. 2/3 row structure from a
+    real session; pass a different ``include`` set to also show
+    transformations or snapshot serves.
+    """
+    out = []
+    for event in trace_events:
+        if event.kind not in include:
+            continue
+        label = _TRACE_LABELS.get(event.kind, event.kind.value)
+        if event.op_id is not None:
+            label += f" {event.op_id}"
+        if event.timestamp is not None:
+            label += f" [{','.join(str(c) for c in event.timestamp)}]"
+        out.append(DiagramEvent(time=event.time, site=event.site, label=label))
+    return out

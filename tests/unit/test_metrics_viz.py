@@ -75,6 +75,20 @@ class TestViz:
         art = render_star_topology(50)
         assert "and 42 more" in art
 
+    def test_star_topology_spokes_align_with_site_row(self):
+        """One spoke per shown client, centred over its [site i] cell --
+        including for n_clients > 6 (the old cap left sites 7-8 bare)."""
+        for n in (1, 4, 7, 8, 12):
+            art = render_star_topology(n)
+            lines = art.splitlines()
+            spokes, row = lines[5], lines[6]
+            shown = min(n, 8)
+            assert spokes.count("/") + spokes.count("\\") == shown
+            for i in range(1, shown + 1):
+                cell = f"[site {i}]"
+                centre = row.index(cell) + len(cell) // 2
+                assert spokes[centre] in "/\\"
+
     def test_star_topology_rejects_zero(self):
         with pytest.raises(ValueError):
             render_star_topology(0)
@@ -95,3 +109,23 @@ class TestViz:
             render_spacetime(2, [DiagramEvent(1.0, 5, "x")])
         with pytest.raises(ValueError):
             render_spacetime(0, [])
+
+    def test_diagram_events_from_recorded_trace(self):
+        """A real traced session feeds the Fig. 2/3 renderer directly."""
+        from repro.editor import StarSession
+        from repro.obs import Tracer
+        from repro.ot.operations import Insert
+        from repro.viz.spacetime import diagram_events_from_trace
+
+        tracer = Tracer()
+        session = StarSession(2, tracer=tracer)
+        session.generate_at(1, Insert("a", 0), at=0.1)
+        session.generate_at(2, Insert("b", 0), at=0.2)
+        session.run()
+        rows = diagram_events_from_trace(tracer.events)
+        assert rows, "the trace produced no diagram rows"
+        labels = [row.label for row in rows]
+        assert any(label.startswith("gen c1_1") for label in labels)
+        assert any(label.startswith("exec c1_1") for label in labels)
+        art = render_spacetime(3, rows)
+        assert "gen c1_1" in art and "exec c1_1'" in art

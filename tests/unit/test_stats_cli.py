@@ -129,6 +129,42 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "protocol: sent=" in out
 
+    def test_trace_writes_artifacts_and_cross_checks(self, capsys, tmp_path):
+        prefix = str(tmp_path / "trace")
+        assert (
+            main(["trace", "--sites", "3", "--ops", "3", "--out", prefix]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "EXACT MATCH" in out
+        assert "0 disagreements" in out
+        assert (tmp_path / "trace.jsonl").exists()
+        assert (tmp_path / "trace.chrome.json").exists()
+        # The JSONL artefact round-trips through the public reader.
+        from repro.obs import read_jsonl
+
+        with open(tmp_path / "trace.jsonl", encoding="utf-8") as fh:
+            header, events = read_jsonl(fh)
+        assert header["sites"] == 3 and not header["faulty"]
+        assert events
+
+    def test_trace_with_faults_and_diagram(self, capsys, tmp_path):
+        prefix = str(tmp_path / "trace")
+        assert (
+            main(
+                [
+                    "trace", "--sites", "4", "--seed", "7", "--faults",
+                    "--crash", "2:3.0:5.0", "--out", prefix, "--diagram",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "EXACT MATCH" in out
+        assert "vector-clock" in out  # crash runs check against the VC relation
+        assert "trace.crashed = 1" in out
+        assert "trace.recovered = 1" in out
+        assert "site 0" in out  # the spacetime diagram rendered
+
     def test_session_mesh_rejects_faults(self, capsys):
         assert (
             main(["session", "--arch", "mesh", "--sites", "2", "--ops", "1",
