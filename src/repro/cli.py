@@ -134,9 +134,16 @@ def _parse_outage(spec: str):
 
 
 def _build_fault_plan(args: argparse.Namespace):
-    from repro.net.faults import ChannelFaults, FaultPlan
+    from repro.net.faults import ChannelFaults, FaultPlan, NotifierCrash
 
-    if not (args.faults or args.drop or args.dup or args.crash or args.outage):
+    if not (
+        args.faults
+        or args.drop
+        or args.dup
+        or args.crash
+        or args.outage
+        or args.crash_notifier is not None
+    ):
         return None
     return FaultPlan(
         seed=args.seed,
@@ -146,6 +153,11 @@ def _build_fault_plan(args: argparse.Namespace):
             outages=tuple(args.outage or ()),
         ),
         crashes=tuple(args.crash or ()),
+        notifier_crash=(
+            NotifierCrash(at=args.crash_notifier)
+            if args.crash_notifier is not None
+            else None
+        ),
     )
 
 
@@ -173,6 +185,7 @@ def cmd_session(args: argparse.Namespace) -> int:
                 latency_factory=latency_factory,
                 verify_with_oracle=args.verify,
                 fault_plan=fault_plan,
+                standby_site=args.standby,
             )
         except (ValueError, IndexError) as exc:
             print(f"invalid fault plan: {exc}", file=sys.stderr)
@@ -235,7 +248,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     # (so bare ``--faults`` means a genuinely lossy network); faults are
     # therefore keyed on the explicit flags only.
     try:
-        if args.faults or args.crash or args.outage:
+        if args.faults or args.crash or args.outage or args.crash_notifier is not None:
             fault_plan = _build_fault_plan(args)
         else:
             fault_plan = None
@@ -251,6 +264,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             verify_with_oracle=True,
             fault_plan=fault_plan,
             tracer=tracer,
+            standby_site=args.standby,
         )
     except (ValueError, IndexError) as exc:
         print(f"invalid fault plan: {exc}", file=sys.stderr)
@@ -288,6 +302,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(tracer.metrics.summary())
     print()
     print(report.summary())
+    if fault_plan is not None:
+        print()
+        print(session.fault_report().summary())
     print(f"formula (5)/(7) verdicts vs trace: {len(disagreements)} disagreements")
     print(f"releases without a cause: {len(bad_releases)}")
     print()
@@ -374,6 +391,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="START:END",
         help="burst outage window on every channel (repeatable)",
     )
+    p_sess.add_argument(
+        "--crash-notifier",
+        type=float,
+        default=None,
+        metavar="AT",
+        help="crash the notifier at virtual time AT; a surviving client "
+        "is elected and promoted to the centre role",
+    )
+    p_sess.add_argument(
+        "--standby",
+        type=int,
+        default=None,
+        metavar="SITE",
+        help="warm-standby site preferred as failover successor "
+        "(requires a fault plan; default: lowest live site id)",
+    )
     p_sess.set_defaults(func=cmd_session)
 
     p_trace = sub.add_parser(
@@ -411,6 +444,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="START:END",
         help="burst outage window on every channel (repeatable)",
+    )
+    p_trace.add_argument(
+        "--crash-notifier",
+        type=float,
+        default=None,
+        metavar="AT",
+        help="crash the notifier at virtual time AT; a surviving client "
+        "is elected and promoted to the centre role",
+    )
+    p_trace.add_argument(
+        "--standby",
+        type=int,
+        default=None,
+        metavar="SITE",
+        help="warm-standby site preferred as failover successor "
+        "(requires a fault plan; default: lowest live site id)",
     )
     p_trace.add_argument(
         "--out", default="trace", help="artefact path prefix (default: trace)"

@@ -10,7 +10,7 @@ can share them without depending on each other.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.timestamp import CompressedTimestamp
@@ -47,6 +47,13 @@ class SnapshotMessage:
     base_count: int
     own_count: int = 0
     origin_clock: Any = None
+    # Failover extensions: the notifier epoch the snapshot belongs to
+    # (0 for the original notifier) and, for failover snapshots, the
+    # original client op ids already embodied in ``document`` -- the
+    # receiver replays its stashed pending operations *not* in this set
+    # and drops the rest as duplicates.
+    notifier_epoch: int = 0
+    incorporated: frozenset[str] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -54,3 +61,51 @@ class ResyncRequest:
     """First message of a restarted client's new epoch: "send me state"."""
 
     epoch: int
+
+
+@dataclass(frozen=True)
+class ElectMessage:
+    """Crash detector to designated successor: "the centre is dead".
+
+    ``notifier_epoch`` is the epoch the election would open (one past
+    the dead notifier's); the successor deduplicates elections by it
+    and confirms the suspicion with a bounded liveness probe before
+    promoting itself.
+    """
+
+    notifier_epoch: int
+
+
+@dataclass(frozen=True)
+class PromoteMessage:
+    """Successor to every survivor: "I am the centre of epoch N".
+
+    On receipt a client re-homes its spoke to ``successor``, abandons
+    the dead centre's link, stashes its unacknowledged local operations
+    for replay, and answers with a :class:`StateContribution`.
+    """
+
+    successor: int
+    notifier_epoch: int
+
+
+@dataclass(frozen=True)
+class StateContribution:
+    """One survivor's state report, from which ``SV_0`` is rebuilt.
+
+    ``received_from_center``/``generated_locally`` are the client's
+    compressed ``SV_i``; ``received_per_origin`` counts the executed
+    centre broadcasts by originating site (the per-site evidence behind
+    the successor's reconstruction); ``pending`` lists the unacked
+    local operations as ``(op_id, op)`` pairs, and ``document`` the
+    client's replica -- both cross-checked by the successor to account
+    for rolled-back and lost operations before it re-admits the client
+    through the snapshot path.
+    """
+
+    site: int
+    received_from_center: int
+    generated_locally: int
+    received_per_origin: dict[int, int] = field(default_factory=dict)
+    pending: tuple[tuple[str, Any], ...] = ()
+    document: Any = None

@@ -66,7 +66,15 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.clocks.events import EventLog
-from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
+from repro.editor.failover import FailoverManager
+from repro.editor.messages import (
+    ElectMessage,
+    OpMessage,
+    PromoteMessage,
+    ResyncRequest,
+    SnapshotMessage,
+    StateContribution,
+)
 from repro.editor.star_client import StarClient, UndoError, execute_remote
 from repro.editor.star_notifier import PendingOp, StarNotifier
 from repro.net.channel import LatencyModel
@@ -85,7 +93,11 @@ from repro.session import CheckRecord, ConsistencyError, SessionBase
 __all__ = [
     "CheckRecord",
     "ConsistencyError",
+    "ElectMessage",
+    "FailoverManager",
     "OpMessage",
+    "PromoteMessage",
+    "StateContribution",
     "PendingOp",
     "ReliabilityConfig",
     "ReliabilityStats",
@@ -117,6 +129,7 @@ class StarSession(SessionBase):
         fault_plan: FaultPlan | None = None,
         reliability: ReliabilityConfig | None = None,
         tracer: Tracer | None = None,
+        standby_site: int | None = None,
     ) -> None:
         self.sim = Simulator()
         self._ot_type_name = ot_type_name
@@ -166,15 +179,52 @@ class StarSession(SessionBase):
             latency_factory,
             channel_factory=fault_plan.channel_factory() if fault_plan else None,
         )
+        # Failover machinery: present whenever the reliability protocol
+        # runs (its retransmit-budget give-up is the crash detector).
+        self.promoted_notifier: StarNotifier | None = None
+        self.failover: FailoverManager | None = None
+        if reliability is not None:
+            manager = FailoverManager(self, standby_site=standby_site)
+            self.failover = manager
+            for client in self.clients:
+                client.failover = manager
+            for endpoint in [self.notifier, *self.clients]:
+                transport = endpoint.transport
+                assert isinstance(transport, ReliableEndpoint)
+                transport.on_peer_dead = (
+                    lambda peer, reporter=endpoint: manager.peer_dead(reporter, peer)
+                )
+        elif standby_site is not None:
+            raise ValueError(
+                "standby_site requires the reliability protocol (failover "
+                "detection runs on retransmit budgets)"
+            )
         if fault_plan is not None:
             for crash in fault_plan.crashes:
                 client = self.client(crash.site)
                 self.sim.schedule(crash.at, client.crash)
                 self.sim.schedule(crash.restart_at, client.restart)
+            if fault_plan.notifier_crash is not None:
+                self.sim.schedule(fault_plan.notifier_crash.at, self.notifier.crash)
 
     def endpoints(self) -> Sequence[Any]:
-        """Canonical site order: ``[notifier, client 1, ..., client N]``."""
+        """Canonical site order: ``[notifier, client 1, ..., client N]``.
+
+        After a failover, the centre is the promoted notifier and the
+        dead original (plus the successor's frozen client role, whose
+        replica the promoted notifier carries forward) drops out.
+        """
+        if self.promoted_notifier is not None:
+            survivors = [client for client in self.clients if not client.promoted]
+            return [self.promoted_notifier, *survivors]
         return [self.notifier, *self.clients]
+
+    def participants(self) -> Sequence[Any]:
+        """Every role ever played, for whole-run diagnostics."""
+        out: list[Any] = [self.notifier, *self.clients]
+        if self.promoted_notifier is not None:
+            out.append(self.promoted_notifier)
+        return out
 
     def add_client(self, at: float) -> int:
         """Schedule a late join at virtual time ``at``; returns the site id.
@@ -229,7 +279,10 @@ class StarSession(SessionBase):
         """Aggregate what the network did and what the protocol absorbed."""
         from repro.metrics.accounting import build_fault_report
 
+        # One stats object per *transport*: the promoted notifier shares
+        # the successor client's transport, so iterating the original
+        # roles counts every transport exactly once across a failover.
         return build_fault_report(
             self.topology.total_fault_stats(),
-            [endpoint.rel_stats for endpoint in self.endpoints()],
+            [endpoint.rel_stats for endpoint in [self.notifier, *self.clients]],
         )

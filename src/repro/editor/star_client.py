@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.clocks.events import EventLog
 from repro.clocks.vector import concurrent as vc_concurrent
@@ -21,13 +21,24 @@ from repro.core.concurrency import client_concurrent
 from repro.core.history import HistoryBuffer, HistoryEntry
 from repro.core.state_vector import ClientStateVector
 from repro.core.timestamp import OriginKind
-from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
+from repro.editor.messages import (
+    ElectMessage,
+    OpMessage,
+    PromoteMessage,
+    ResyncRequest,
+    SnapshotMessage,
+    StateContribution,
+)
 from repro.net.reliability import ReliabilityConfig, ReliableEndpoint
 from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
 from repro.obs.tracer import TraceEventKind, Tracer
 from repro.ot.types import get_type
 from repro.session import CheckRecord, ConsistencyError, EditorEndpoint
+
+if TYPE_CHECKING:
+    from repro.editor.failover import FailoverManager
+    from repro.editor.star_notifier import StarNotifier
 
 
 class UndoError(RuntimeError):
@@ -98,6 +109,31 @@ class StarClient(EditorEndpoint):
         self._last_exec_was_local = False
         self.crash_count = 0
         self._recovering = False
+        # -- failover state (see repro.editor.failover) ---------------------
+        # The pid this spoke currently points at; re-homed on promotion.
+        self.center = 0
+        self.notifier_epoch = 0
+        # Set by the session when a FailoverManager coordinates this star.
+        self.failover: FailoverManager | None = None
+        # Successor-election bookkeeping: only maintained when running
+        # over the reliability protocol (crash detection needs it).
+        self._track_failover = reliability is not None
+        # Per-origin counts of executed centre broadcasts, and the set of
+        # original op ids embodied in this replica: together, one
+        # StateContribution -- the evidence from which a successor
+        # rebuilds SV_0 and deduplicates replays.
+        self._received_per_origin: dict[int, int] = {}
+        self._incorporated: set[str] = set()
+        self._abandoned: set[int] = set()
+        self._elect_epoch = 0
+        self._promoting = False
+        self.promoted = False
+        self._promoted_to: StarNotifier | None = None
+        self._failover_pending = False
+        self._failover_stash: list[tuple[str, Any]] = []
+        self._buffered_promotion: list[Envelope] = []
+        self._awaiting_contrib: set[int] = set()
+        self._contributions: dict[int, StateContribution | None] = {}
 
     # -- local editing -------------------------------------------------------
 
@@ -110,10 +146,22 @@ class StarClient(EditorEndpoint):
         client is crashed or awaiting its recovery snapshot the edit is
         dropped (returns ``None``).
         """
+        if self.promoted:
+            # This site became the centre of the star: local edits route
+            # into the promoted notifier's centre-local generation path.
+            assert self._promoted_to is not None
+            op_id = op_id or f"c{self.pid}_{next(self._op_ids)}"
+            return self._promoted_to.generate_local(op, op_id)
         if not self.active:
-            if self.transport.crashed or self._recovering:
-                # A user edit during an outage is simply lost, like
-                # keystrokes into a dead terminal; count it and move on.
+            if (
+                self.transport.crashed
+                or self._recovering
+                or self._failover_pending
+                or self._promoting
+            ):
+                # A user edit during an outage (or a failover window) is
+                # simply lost, like keystrokes into a dead terminal;
+                # count it and move on.
                 self.rel_stats.lost_local_edits += 1
                 return None
             raise RuntimeError(
@@ -151,13 +199,42 @@ class StarClient(EditorEndpoint):
                 TraceEventKind.GENERATED, self.pid, op_id=op_id,
                 timestamp=tuple(ts.as_paper_list()),
             )
+        if self._track_failover:
+            self._incorporated.add(op_id)
         message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
-        self.send(0, message, timestamp_bytes=ts.size_bytes())
+        self.send(self.center, message, timestamp_bytes=ts.size_bytes())
         return op_id
 
     # -- receiving from the notifier ------------------------------------------
 
+    def on_message(self, envelope: Envelope) -> None:
+        """Drop traffic from an abandoned centre before it touches the
+        transport: in-flight packets from the dead notifier must neither
+        pollute the holdback buffer of a fresh link nor trigger acks."""
+        if envelope.source in self._abandoned:
+            self.rel_stats.stale_epoch_discarded += 1
+            return
+        super().on_message(envelope)
+
     def _handle_app_message(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, ElectMessage):
+            self._on_elect(payload.notifier_epoch)
+            return
+        if self._promoting:
+            # Collecting contributions; anything else racing the window
+            # is either a restarting client's resync (serve it after
+            # promotion) or stale traffic.
+            if isinstance(payload, StateContribution):
+                self._on_contribution(envelope.source, payload)
+            elif isinstance(payload, ResyncRequest):
+                self._buffered_promotion.append(envelope)
+            else:
+                self.rel_stats.stale_epoch_discarded += 1
+            return
+        if isinstance(payload, PromoteMessage):
+            self._on_promote(payload)
+            return
         if isinstance(envelope.payload, SnapshotMessage):
             self._install_snapshot(envelope.payload)
             return
@@ -214,6 +291,11 @@ class StarClient(EditorEndpoint):
             )
         )
         self.executed_op_ids.append(message.op_id)
+        if self._track_failover:
+            self._received_per_origin[message.origin_site] = (
+                self._received_per_origin.get(message.origin_site, 0) + 1
+            )
+            self._incorporated.add(message.source_op_id or message.op_id)
         # A remote execution invalidates undo: the stored inverse is no
         # longer defined on the current document.
         self._last_exec_was_local = False
@@ -300,10 +382,19 @@ class StarClient(EditorEndpoint):
         ``SV_i[2] := own_count`` -- the notifier's count of this site's
         operations -- so post-restart timestamps continue the numbering
         the notifier's formula-(7) bookkeeping expects.
+
+        A client mid-handoff (``PromoteMessage`` processed, failover
+        snapshot awaited) takes the failover install path instead: the
+        successor's baseline replaces the replica wholesale and stashed
+        pending operations are replayed against it.
         """
+        if self._failover_pending:
+            self._install_failover_snapshot(snapshot)
+            return
         if self.active:
             raise ConsistencyError(f"site {self.pid} received a second snapshot")
         recovering = self._recovering
+        self.notifier_epoch = snapshot.notifier_epoch
         self.document = snapshot.document
         if self._recovering:
             self.sv = ClientStateVector(
@@ -320,10 +411,198 @@ class StarClient(EditorEndpoint):
         self.active = True
         if self.tracer is not None:
             self.tracer.emit(
-                TraceEventKind.RECOVERED, self.pid, peer=0,
+                TraceEventKind.RECOVERED, self.pid, peer=self.center,
                 epoch=self.crash_count if recovering else 0,
                 via="resync" if recovering else "join",
             )
+
+    # -- notifier failover -------------------------------------------------------
+
+    def _reliable_transport(self) -> ReliableEndpoint:
+        transport = self.transport
+        assert isinstance(transport, ReliableEndpoint)  # failover demands it
+        return transport
+
+    def _on_elect(self, epoch: int) -> None:
+        """An ``ElectMessage`` arrived: confirm the suspicion, then promote.
+
+        The election is deduplicated by epoch, and the suspicion is
+        confirmed with a bounded liveness probe before anything
+        irreversible happens -- a retransmit-budget give-up can be a
+        false alarm under pathological (but survivable) loss.
+        """
+        if self.failover is None or self.promoted or self._promoting:
+            return
+        if self._elect_epoch >= epoch:
+            return  # duplicate election signal
+        self._elect_epoch = epoch
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.ELECTED, self.pid, peer=self.center, epoch=epoch,
+            )
+        self._reliable_transport().probe_peer(
+            self.center,
+            on_alive=self._election_aborted,
+            on_dead=self._begin_promotion,
+        )
+
+    def _election_aborted(self, peer: int) -> None:
+        """The centre answered the probe: false alarm, stand down."""
+        self._elect_epoch = 0
+        if self.failover is not None:
+            self.failover.election_aborted(self)
+
+    def _begin_promotion(self, peer: int) -> None:
+        """The probe went unanswered: take over as the new centre.
+
+        Abandons the dead centre's link, freezes client-role editing and
+        asks every surviving member for a :class:`StateContribution`;
+        promotion completes when all have reported (or been given up
+        on).
+        """
+        manager = self.failover
+        if manager is None or self.promoted or self._promoting:
+            return
+        self._promoting = True
+        self.active = False
+        old_center = self.center
+        self._abandoned.add(old_center)
+        self._reliable_transport().abandon_peer(old_center)
+        # Our own unacknowledged operations are already embodied in our
+        # replica -- the promotion baseline; nothing to stash or replay.
+        self.pending = deque()
+        epoch = self._elect_epoch
+        members = manager.begin_promotion(self, epoch)
+        self._awaiting_contrib = set(members)
+        self._contributions = {}
+        for member in members:
+            self.send(
+                member,
+                PromoteMessage(successor=self.pid, notifier_epoch=epoch),
+                timestamp_bytes=0,
+                kind="promote",
+            )
+        if not self._awaiting_contrib:
+            self._finish_promotion()
+
+    def _on_contribution(self, source: int, contribution: StateContribution) -> None:
+        if source not in self._awaiting_contrib:
+            return  # duplicate or post-deadline report
+        self._awaiting_contrib.discard(source)
+        self._contributions[source] = contribution
+        if not self._awaiting_contrib:
+            self._finish_promotion()
+
+    def _member_dead(self, peer: int) -> None:
+        """Give up on a member that went silent during collection."""
+        if self._promoting and peer in self._awaiting_contrib:
+            self._awaiting_contrib.discard(peer)
+            self._contributions[peer] = None
+            if not self._awaiting_contrib:
+                self._finish_promotion()
+
+    def _finish_promotion(self) -> None:
+        self._promoting = False
+        self.promoted = True
+        manager = self.failover
+        assert manager is not None
+        notifier = manager.complete_promotion(self, self._contributions)
+        self._promoted_to = notifier
+        # Hand over the resync requests that raced the promotion window.
+        buffered, self._buffered_promotion = self._buffered_promotion, []
+        for envelope in buffered:
+            notifier._handle_app_message(envelope)
+
+    def _on_promote(self, message: PromoteMessage) -> None:
+        """Re-home the spoke to the successor and report our state."""
+        if message.notifier_epoch <= self.notifier_epoch:
+            return  # duplicate promotion announcement
+        self.notifier_epoch = message.notifier_epoch
+        old_center, self.center = self.center, message.successor
+        self._abandoned.add(old_center)
+        self._reliable_transport().abandon_peer(old_center)
+        # Unacknowledged local operations may or may not be embodied in
+        # the successor's baseline; stash them for dedup-and-replay once
+        # the failover snapshot arrives.
+        self._failover_stash = [(entry.op_id, entry.op) for entry in self.pending]
+        self._failover_pending = True
+        self.active = False
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.HANDOFF, self.pid, peer=message.successor,
+                epoch=message.notifier_epoch,
+            )
+        self.send(
+            self.center,
+            StateContribution(
+                site=self.pid,
+                received_from_center=self.sv.received_from_center,
+                generated_locally=self.sv.generated_locally,
+                received_per_origin=dict(self._received_per_origin),
+                pending=tuple(self._failover_stash),
+                document=self.document,
+            ),
+            timestamp_bytes=0,
+            kind="contrib",
+        )
+
+    def _install_failover_snapshot(self, snapshot: SnapshotMessage) -> None:
+        """Adopt the successor's baseline, then replay stashed pendings.
+
+        The baseline replaces the replica wholesale (operations the dead
+        centre acknowledged but never relayed are rolled back with it);
+        stashed operations *not* in ``snapshot.incorporated`` are
+        regenerated as **new** operations -- fresh ids, fresh timestamps,
+        fresh ground-truth generations -- because their old identities
+        are burned into the pre-crash bookkeeping.  Positions are
+        clamped to the baseline, mirroring how an editor re-applies a
+        locally-buffered edit to a reverted document.
+        """
+        from repro.ot.operations import Operation, OperationError, clamp_to
+
+        self.document = snapshot.document
+        self.sv = ClientStateVector(
+            self.pid,
+            received_from_center=snapshot.base_count,
+            generated_locally=snapshot.own_count,
+        )
+        self.hb = HistoryBuffer()
+        self.pending = deque()
+        self._last_local_entry = None
+        self._last_exec_was_local = False
+        self._failover_pending = False
+        if self._recovering:
+            # A crash restart that raced the failover completes here: the
+            # successor's baseline is the resync it was waiting for.
+            self.rel_stats.recoveries += 1
+            self._recovering = False
+        self.active = True
+        self.notifier_epoch = snapshot.notifier_epoch
+        # Successor-evidence bookkeeping restarts from the new baseline.
+        self._received_per_origin = {}
+        self._incorporated = set(snapshot.incorporated)
+        self.rel_stats.handoffs += 1
+        if self.event_log is not None and snapshot.origin_clock is not None:
+            self.event_log.absorb_snapshot(self.pid, snapshot.origin_clock)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.RECOVERED, self.pid, peer=self.center,
+                epoch=snapshot.notifier_epoch, via="failover",
+            )
+        stash, self._failover_stash = self._failover_stash, []
+        for op_id, op in stash:
+            if op_id in snapshot.incorporated:
+                self.rel_stats.replays_deduped += 1
+                continue
+            replay_op = op
+            if isinstance(replay_op, Operation) and isinstance(self.document, str):
+                replay_op = clamp_to(self.document, replay_op)
+            try:
+                self.generate(replay_op, op_id=f"{op_id}@f{snapshot.notifier_epoch}")
+            except OperationError:
+                self.rel_stats.lost_local_edits += 1
+                continue
+            self.rel_stats.replayed_ops += 1
 
     # -- crash / recovery -------------------------------------------------------
 
@@ -343,6 +622,11 @@ class StarClient(EditorEndpoint):
         self.pending = deque()
         self._last_local_entry = None
         self._last_exec_was_local = False
+        # Failover evidence is volatile editor state too.
+        self._received_per_origin = {}
+        self._incorporated = set()
+        self._failover_pending = False
+        self._failover_stash = []
 
     def restart(self) -> None:
         """Come back up and resynchronise through the snapshot path.
@@ -359,8 +643,18 @@ class StarClient(EditorEndpoint):
         assert isinstance(transport, ReliableEndpoint)  # crash() demanded it
         transport.revive()
         self._recovering = True
-        transport.reset_link(0, self.crash_count)
-        self.send(0, ResyncRequest(epoch=self.crash_count), timestamp_bytes=0, kind="resync")
+        # The centre may have moved while we were down; ask the failover
+        # manager where the star points now (it also wires the channel).
+        if self.failover is not None:
+            new_center = self.failover.route_restart(self)
+            if new_center != self.center:
+                self._abandoned.add(self.center)
+                self.center = new_center
+        transport.reset_link(self.center, self.crash_count)
+        self.send(
+            self.center, ResyncRequest(epoch=self.crash_count),
+            timestamp_bytes=0, kind="resync",
+        )
 
     # -- maintenance -----------------------------------------------------------
 

@@ -22,7 +22,14 @@ from repro.core.concurrency import notifier_concurrent
 from repro.core.history import HistoryBuffer, HistoryEntry
 from repro.core.state_vector import NotifierStateVector
 from repro.core.timestamp import CompressedTimestamp, OriginKind
-from repro.editor.messages import OpMessage, ResyncRequest, SnapshotMessage
+from repro.editor.messages import (
+    ElectMessage,
+    OpMessage,
+    PromoteMessage,
+    ResyncRequest,
+    SnapshotMessage,
+    StateContribution,
+)
 from repro.editor.star_client import execute_remote
 from repro.net.reliability import ReliabilityConfig
 from repro.net.simulator import Simulator
@@ -67,15 +74,28 @@ class StarNotifier(EditorEndpoint):
         record_checks: bool = True,
         reliability: ReliabilityConfig | None = None,
         tracer: Tracer | None = None,
+        *,
+        pid: int = 0,
+        notifier_epoch: int = 0,
+        adopt_transport: Any = None,
     ) -> None:
-        super().__init__(sim, 0, reliability, tracer)
+        super().__init__(sim, pid, reliability, tracer, adopt_transport=adopt_transport)
         if n_sites < 1:
             raise ValueError(f"need at least one collaborating site, got {n_sites}")
         self.n_sites = n_sites
+        # ``pid`` is 0 for the original notifier; a *promoted* notifier
+        # keeps the successor client's site id.  Either way the process
+        # plays the paper's "site 0" role -- CheckRecords carry the role
+        # id 0 so formula-(7) diagnostics stay uniform across epochs.
+        self.notifier_epoch = notifier_epoch
         self.ot = get_type(ot_type_name)
         self.document = self.ot.initial() if initial_state is None else initial_state
         self.sv = NotifierStateVector(n_sites)
         self.hb = HistoryBuffer()
+        # Sites currently receiving broadcasts.  The original notifier
+        # serves everyone from the start; a promoted one re-admits each
+        # survivor through the failover snapshot path first.
+        self.destinations: set[int] = {i for i in range(1, n_sites + 1) if i != pid}
         # Per destination: broadcast operations the destination has not
         # yet acknowledged, each in its per-destination form.  Every ack
         # drops a prefix, so deques keep that O(acked) not O(n).
@@ -91,10 +111,27 @@ class StarNotifier(EditorEndpoint):
         self.checks: list[CheckRecord] = []
         self.executed_op_ids: list[str] = []
         self.broadcast_log: list[tuple[str, int, CompressedTimestamp]] = []
+        # Failover bookkeeping: the original client op ids embodied in
+        # ``document`` at promotion time (members dedup replays against
+        # it), and ops the dead centre acknowledged that the baseline
+        # rolled back.
+        self.incorporated: frozenset[str] = frozenset()
+        self.failover_losses = 0
 
     def _handle_app_message(self, envelope: Envelope) -> None:
         if isinstance(envelope.payload, ResyncRequest):
             self._serve_resync(envelope.source, envelope.payload.epoch)
+            return
+        if isinstance(envelope.payload, StateContribution):
+            # A member presumed dead during promotion whose report
+            # arrives late: it already re-homed to us, so heal it with
+            # a failover snapshot rather than leaving it stranded.
+            self._serve_failover_snapshot(envelope.source)
+            return
+        if isinstance(envelope.payload, (ElectMessage, PromoteMessage)):
+            # Election-window stragglers (e.g. a duplicate suspicion
+            # delivered after promotion completed).
+            self.rel_stats.stale_epoch_discarded += 1
             return
         message: OpMessage = envelope.payload
         source = envelope.source
@@ -130,27 +167,34 @@ class StarNotifier(EditorEndpoint):
                     new_op, entry.op, source < entry.origin_site
                 )
                 entry.op = updated
-        # Execute; the transformed operation becomes a *new* operation
-        # "generated at site 0" (paper Section 3.1 / Fig. 3).
+        self._execute_and_broadcast(new_op, source, message.op_id, ts)
+
+    def _execute_and_broadcast(
+        self, new_op: Any, source: int, source_op_id: str, ts: CompressedTimestamp
+    ) -> None:
+        """Execute; the transformed operation becomes a *new* operation
+        "generated at site 0" (paper Section 3.1 / Fig. 3), broadcast to
+        every other destination with a per-destination compressed
+        timestamp (formulas 1-2)."""
         self.document = execute_remote(
             self.ot, self.document, new_op, self.transform_enabled
         )
         self.sv.record_execution_from(source)
-        transformed_id = f"{message.op_id}'"
+        transformed_id = f"{source_op_id}'"
         self.executed_op_ids.append(transformed_id)
         if self.event_log is not None:
-            self.event_log.execute(0, message.op_id)
-            self.event_log.generate(0, transformed_id)
+            self.event_log.execute(self.pid, source_op_id)
+            self.event_log.generate(self.pid, transformed_id)
         if self.tracer is not None:
             # Execution of the incoming form, then generation of the
             # transformed form "at site 0" -- mirroring the event log.
             self.tracer.emit(
-                TraceEventKind.EXECUTED, 0, op_id=message.op_id,
+                TraceEventKind.EXECUTED, self.pid, op_id=source_op_id,
                 timestamp=tuple(ts.as_paper_list()),
             )
             self.tracer.emit(
-                TraceEventKind.TRANSFORMED, 0, op_id=transformed_id,
-                source_op_id=message.op_id,
+                TraceEventKind.TRANSFORMED, self.pid, op_id=transformed_id,
+                source_op_id=source_op_id,
                 timestamp=tuple(self.sv.full_timestamp().as_paper_list()),
             )
         self.hb.append(
@@ -161,12 +205,10 @@ class StarNotifier(EditorEndpoint):
                 origin_kind=OriginKind.FROM_CLIENT,
                 op_id=transformed_id,
                 executed_at=self.sim.now,
-                source_op_id=message.op_id,
+                source_op_id=source_op_id,
             )
         )
-        # Broadcast the transformed form to every other site with a
-        # per-destination compressed timestamp (formulas 1-2).
-        for dest in range(1, self.n_sites + 1):
+        for dest in sorted(self.destinations):
             if dest == source:
                 continue
             dest_ts = self.sv.compress_for_destination(dest)
@@ -176,12 +218,50 @@ class StarNotifier(EditorEndpoint):
                 timestamp=dest_ts,
                 origin_site=source,
                 op_id=transformed_id,
-                source_op_id=message.op_id,
+                source_op_id=source_op_id,
             )
             self.send(dest, out, timestamp_bytes=dest_ts.size_bytes())
             self.sent_to[dest].append(
                 PendingOp(op=new_op, op_id=transformed_id, origin_site=source)
             )
+
+    def generate_local(self, op: Any, op_id: str) -> str:
+        """A local edit at the *promoted* notifier's own site.
+
+        The centre executes its own operation directly: nothing in the
+        centre's history can be concurrent with an operation generated
+        on the centre's current document (formula (7) yields no
+        concurrent entries -- asserted below), so no transformation is
+        needed and the op broadcasts like any client op.  The timestamp
+        mirrors the client convention: ``[received, own-including-this]``
+        evaluated at the centre.
+        """
+        if self.pid == 0:
+            raise RuntimeError(
+                "generate_local is the promoted notifier's path; site 0 has no "
+                "client-side editor"
+            )
+        ts = CompressedTimestamp(
+            self.sv.total() - self.sv[self.pid], self.sv[self.pid] + 1
+        )
+        if self.event_log is not None:
+            self.event_log.generate(self.pid, op_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.GENERATED, self.pid, op_id=op_id,
+                timestamp=tuple(ts.as_paper_list()),
+            )
+        message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
+        diagnostics = self.record_checks or self.verify_with_oracle
+        if diagnostics:
+            concurrent_entries = self._concurrency_pass(message, self.pid)
+            if concurrent_entries:
+                raise ConsistencyError(
+                    f"notifier: centre-local op {op_id} tested concurrent with "
+                    f"{[e.op_id for e in concurrent_entries]}"
+                )
+        self._execute_and_broadcast(op, self.pid, op_id, ts)
+        return op_id
 
     def _concurrency_pass(self, message: OpMessage, source: int) -> list[HistoryEntry]:
         """Run formula (7) over ``HB_0``; record and (optionally) verify."""
@@ -233,13 +313,20 @@ class StarNotifier(EditorEndpoint):
                 f"joiner must take the next site id {site_id}, got {client.pid}"
             )
         self.n_sites = site_id
+        self.destinations.add(site_id)
         self.sent_to[site_id] = deque()
         self.acked[site_id] = self.sv.total()
         if self.tracer is not None:
-            self.tracer.emit(TraceEventKind.SNAPSHOT, 0, peer=site_id, epoch=0)
+            self.tracer.emit(
+                TraceEventKind.SNAPSHOT, self.pid, peer=site_id, epoch=0, via="join",
+            )
         self.send(
             site_id,
-            SnapshotMessage(document=self.document, base_count=self.sv.total()),
+            SnapshotMessage(
+                document=self.document,
+                base_count=self.sv.total(),
+                notifier_epoch=self.notifier_epoch,
+            ),
             timestamp_bytes=0,
             kind="snapshot",
         )
@@ -261,14 +348,18 @@ class StarNotifier(EditorEndpoint):
         """
         own = self.sv[site]
         base = self.sv.total() - own
+        self.destinations.add(site)
         self.sent_to[site] = deque()
         self.acked[site] = base
         self.rel_stats.resyncs_served += 1
         origin_clock = None
         if self.event_log is not None:
-            origin_clock = self.event_log.site_clock(0)
+            origin_clock = self.event_log.site_clock(self.pid)
         if self.tracer is not None:
-            self.tracer.emit(TraceEventKind.SNAPSHOT, 0, peer=site, epoch=epoch)
+            self.tracer.emit(
+                TraceEventKind.SNAPSHOT, self.pid, peer=site, epoch=epoch,
+                via="resync",
+            )
         self.send(
             site,
             SnapshotMessage(
@@ -276,6 +367,129 @@ class StarNotifier(EditorEndpoint):
                 base_count=base,
                 own_count=own,
                 origin_clock=origin_clock,
+                notifier_epoch=self.notifier_epoch,
+            ),
+            timestamp_bytes=0,
+            kind="snapshot",
+        )
+
+    # -- crash & failover --------------------------------------------------------
+
+    def crash(self) -> None:
+        """The centre goes down, permanently.
+
+        Unlike a client crash there is no restart path: recovery is by
+        successor election and promotion (see
+        :mod:`repro.editor.failover`).  State is deliberately left in
+        place -- it is dead weight, useful only to post-mortem tests.
+        """
+        if self.transport.reliability is None:
+            raise RuntimeError("crash injection requires the reliability protocol")
+        self.transport.go_down()
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.CRASHED, self.pid, epoch=self.notifier_epoch,
+            )
+
+    @classmethod
+    def promoted_from(
+        cls,
+        client: "StarClient",
+        notifier_epoch: int,
+        contributions: dict[int, StateContribution | None],
+        n_sites: int,
+    ) -> "StarNotifier":
+        """Build the epoch-``notifier_epoch`` notifier from a successor client.
+
+        The successor's replica is the promotion baseline; ``SV_0`` is
+        reconstructed from the successor's per-origin execution counts
+        (``SV_0[i]`` = operations from site ``i`` embodied in the
+        baseline, with the successor's own column taken from its
+        ``SV_i[2]``).  The new notifier *adopts* the client's transport
+        and outgoing channels -- the star's spokes deliver to the same
+        process, whose editor logic has changed role.  Contributions are
+        cross-checked against the baseline to account for operations the
+        dead centre acknowledged but never relayed (``failover_losses``);
+        each contributing member is then re-admitted through a failover
+        snapshot.
+        """
+        notifier = cls(
+            client.sim,
+            n_sites,
+            ot_type_name=client.ot.name,
+            initial_state=client.document,
+            event_log=client.event_log,
+            verify_with_oracle=client.verify_with_oracle,
+            transform_enabled=client.transform_enabled,
+            record_checks=client.record_checks,
+            reliability=client.transport.reliability,
+            tracer=client.tracer,
+            pid=client.pid,
+            notifier_epoch=notifier_epoch,
+            adopt_transport=client.transport,
+        )
+        # Share the spoke channels: outgoing sends must reach the wires
+        # the topology attached to the successor process.
+        notifier.out_channels = client.out_channels
+        for site in range(1, n_sites + 1):
+            if site == client.pid:
+                notifier.sv.counts[site - 1] = client.sv.generated_locally
+            else:
+                notifier.sv.counts[site - 1] = client._received_per_origin.get(site, 0)
+        # Nothing is in flight to anyone: every member restarts at the
+        # snapshot horizon, exactly as in the resync path.
+        for site in range(1, n_sites + 1):
+            notifier.sent_to[site] = deque()
+            notifier.acked[site] = notifier.sv.total() - notifier.sv[site]
+        notifier.destinations = set()
+        notifier.incorporated = frozenset(client._incorporated)
+        for site, contribution in contributions.items():
+            if contribution is None or site == client.pid:
+                continue
+            # Ops the dead centre acknowledged to their origin (they left
+            # its pending list) but that never made it into the baseline
+            # are rolled back by the failover; account for them.
+            acked_at_old = contribution.generated_locally - len(contribution.pending)
+            missing = acked_at_old - notifier.sv[site]
+            if missing > 0:
+                notifier.failover_losses += missing
+        notifier.rel_stats.promotions += 1
+        if notifier.tracer is not None:
+            notifier.tracer.emit(
+                TraceEventKind.PROMOTED, notifier.pid, epoch=notifier_epoch,
+            )
+            notifier.tracer.metrics.inc("failover.lost_ops", notifier.failover_losses)
+        for site in sorted(contributions):
+            if contributions[site] is not None and site != client.pid:
+                notifier._serve_failover_snapshot(site)
+        return notifier
+
+    def _serve_failover_snapshot(self, site: int) -> None:
+        """Re-admit a survivor under the new epoch (the resync path,
+        plus the dedup set members replay their stashed pendings against)."""
+        own = self.sv[site]
+        base = self.sv.total() - own
+        self.destinations.add(site)
+        self.sent_to[site] = deque()
+        self.acked[site] = base
+        self.rel_stats.resyncs_served += 1
+        origin_clock = None
+        if self.event_log is not None:
+            origin_clock = self.event_log.site_clock(self.pid)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.SNAPSHOT, self.pid, peer=site,
+                epoch=self.notifier_epoch, via="failover",
+            )
+        self.send(
+            site,
+            SnapshotMessage(
+                document=self.document,
+                base_count=base,
+                own_count=own,
+                origin_clock=origin_clock,
+                notifier_epoch=self.notifier_epoch,
+                incorporated=self.incorporated,
             ),
             timestamp_bytes=0,
             kind="snapshot",

@@ -180,6 +180,13 @@ class FaultToleranceReport:
     client's completed restart) and 1 to ``resyncs_served`` (the
     recovery snapshot the notifier sent back); the two count the same
     event from opposite ends and are reported separately.
+
+    A notifier failover likewise counts from both ends: 1 to
+    ``promotions`` (the successor assumed the centre role) and 1 per
+    surviving member to ``handoffs`` (completed re-homing to the new
+    centre), with ``give_ups``/``probes_sent`` recording the detection
+    work and ``replayed_ops``/``replays_deduped`` the fate of pending
+    operations stashed across the epoch boundary.
     """
 
     # network side
@@ -199,6 +206,13 @@ class FaultToleranceReport:
     lost_local_edits: int
     recoveries: int
     resyncs_served: int
+    # failover side
+    give_ups: int
+    probes_sent: int
+    handoffs: int
+    promotions: int
+    replayed_ops: int
+    replays_deduped: int
 
     @property
     def lost(self) -> int:
@@ -220,7 +234,10 @@ class FaultToleranceReport:
             f"held_for_order={self.out_of_order_held}\n"
             f"crashes: dropped_while_down={self.dropped_while_crashed} "
             f"lost_local_edits={self.lost_local_edits} "
-            f"recoveries={self.recoveries} resyncs_served={self.resyncs_served}"
+            f"recoveries={self.recoveries} resyncs_served={self.resyncs_served}\n"
+            f"failover: give_ups={self.give_ups} probes={self.probes_sent} "
+            f"promotions={self.promotions} handoffs={self.handoffs} "
+            f"replayed={self.replayed_ops} deduped={self.replays_deduped}"
         )
 
 
@@ -242,6 +259,12 @@ def build_fault_report(fault_stats, rel_stats_list) -> FaultToleranceReport:
         "lost_local_edits": 0,
         "recoveries": 0,
         "resyncs_served": 0,
+        "give_ups": 0,
+        "probes_sent": 0,
+        "handoffs": 0,
+        "promotions": 0,
+        "replayed_ops": 0,
+        "replays_deduped": 0,
     }
     for stats in rel_stats_list:
         for name in totals:

@@ -13,6 +13,8 @@ Pieces
 * :class:`ChannelFaults` -- per-channel drop/duplicate probabilities and
   burst-outage windows;
 * :class:`ClientCrash` -- a scheduled crash/restart of one client site;
+* :class:`NotifierCrash` -- a scheduled permanent crash of site 0,
+  recovered by successor election and promotion rather than restart;
 * :class:`FaultPlan` -- a seeded, fully deterministic plan combining the
   above.  Identical plans reproduce identical fault sequences;
 * :class:`FaultyChannel` -- a :class:`~repro.net.channel.FIFOChannel`
@@ -84,6 +86,30 @@ class ClientCrash:
             )
 
 
+@dataclass(frozen=True)
+class NotifierCrash:
+    """A scheduled permanent crash of the notifier (site 0).
+
+    The centre of the star goes down at ``at`` and never comes back;
+    recovery is by *failover*, not restart: a surviving client detects
+    the silence (retransmit-budget exhaustion, confirmed by a bounded
+    liveness probe), is elected successor, reconstructs the notifier
+    state from per-client contributions and re-admits every survivor
+    under a new notifier epoch (see :mod:`repro.editor.failover`).
+
+    Detection is activity-triggered -- some client must have traffic
+    toward the dead centre for the retransmit budget to run out -- so a
+    meaningful plan schedules the crash *before* the workload's last
+    edits.
+    """
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"need at >= 0, got {self.at}")
+
+
 @dataclass
 class FaultPlan:
     """A deterministic, seeded fault schedule for one session.
@@ -99,6 +125,7 @@ class FaultPlan:
     default: ChannelFaults = field(default_factory=ChannelFaults)
     per_channel: dict[tuple[int, int], ChannelFaults] = field(default_factory=dict)
     crashes: tuple[ClientCrash, ...] = ()
+    notifier_crash: NotifierCrash | None = None
 
     def faults_for(self, source: int, dest: int) -> ChannelFaults:
         return self.per_channel.get((source, dest), self.default)

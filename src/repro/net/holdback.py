@@ -29,15 +29,42 @@ T = TypeVar("T")
 Stream = Hashable
 
 
+class HoldbackOverflow(RuntimeError):
+    """The hold-back queue exceeded its configured capacity.
+
+    An unbounded reorder buffer turns a long outage into unbounded
+    memory growth: every packet that arrives above the gap is held
+    forever while retransmissions fail to fill it.  A bounded queue
+    instead fails loudly at its high-water mark, which the caller can
+    surface (the reliability transport emits a ``holdback_overflow``
+    trace event before re-raising).
+    """
+
+    def __init__(self, stream: Stream, seq: int, capacity: int) -> None:
+        super().__init__(
+            f"hold-back queue over capacity {capacity}: cannot hold "
+            f"(stream={stream!r}, seq={seq})"
+        )
+        self.stream = stream
+        self.seq = seq
+        self.capacity = capacity
+
+
 class HoldbackQueue(Generic[T]):
     """Out-of-order items indexed by ``(stream, seq)`` until deliverable.
 
     ``max_held`` records the peak simultaneous occupancy over the
     queue's lifetime -- the observability layer reports it as the
-    high-water mark of the reorder buffer.
+    high-water mark of the reorder buffer.  ``capacity`` bounds that
+    occupancy: holding an item beyond it raises
+    :class:`HoldbackOverflow` instead of growing without limit
+    (``None`` keeps the legacy unbounded behaviour).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
         self._streams: dict[Stream, dict[int, T]] = {}
         self._held = 0
         self.max_held = 0
@@ -47,10 +74,16 @@ class HoldbackQueue(Generic[T]):
 
         Returns False (and keeps the original) if that slot is already
         held -- the duplicate-detection the reliability layer counts.
+        Raises :class:`HoldbackOverflow` if holding the item would
+        exceed ``capacity``.
         """
         slots = self._streams.setdefault(stream, {})
         if seq in slots:
             return False
+        if self.capacity is not None and self._held >= self.capacity:
+            if not slots:
+                del self._streams[stream]
+            raise HoldbackOverflow(stream, seq, self.capacity)
         slots[seq] = item
         self._held += 1
         if self._held > self.max_held:

@@ -34,13 +34,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Protocol, Union, runtime_checkable
 
-from repro.net.holdback import HoldbackQueue
+from repro.net.holdback import HoldbackOverflow, HoldbackQueue
 from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
 from repro.obs.tracer import Tracer, TraceEventKind
 
 WireSend = Callable[[int, Any, int, str], None]
 Deliver = Callable[[Envelope], None]
+PeerCallback = Callable[[int], None]
 
 
 def _traced_op_id(payload: Any) -> Optional[str]:
@@ -62,30 +63,58 @@ class ReliablePacket:
     pure acknowledgements, which are unsequenced); ``epoch`` identifies
     the client incarnation the packet belongs to; ``ack`` is cumulative:
     the highest seq the sender has received *in order* from the
-    destination (``-1`` if none).
+    destination (``-1`` if none).  A ``probe`` is an unsequenced
+    liveness heartbeat (``seq == -1``): the receiver answers it with an
+    immediate acknowledgement, and *any* arrival from a probed peer
+    counts as proof of life.
     """
 
     seq: int
     epoch: int
     ack: int
     payload: Any = None
+    probe: bool = False
 
     def __post_init__(self) -> None:
         if self.seq < -1 or self.ack < -1 or self.epoch < 0:
             raise ValueError(f"malformed packet: {self}")
+        if self.probe and self.seq != -1:
+            raise ValueError(f"probes are unsequenced: {self}")
 
 
 @dataclass(frozen=True)
 class ReliabilityConfig:
-    """Retransmission parameters of the reliability protocol."""
+    """Retransmission parameters of the reliability protocol.
+
+    ``max_retries`` bounds the retransmit budget per peer: after that
+    many *consecutive* retransmission rounds without acknowledgement
+    progress the endpoint declares the peer dead (``on_peer_dead``
+    fires once) and parks further traffic instead of retrying forever.
+    ``None`` restores the legacy retry-forever behaviour.  A parked
+    link resurrects automatically the moment anything arrives from the
+    peer.  ``probe_interval``/``max_probes`` shape the bounded
+    heartbeat :meth:`ReliableEndpoint.probe_peer` uses to confirm a
+    suspicion, and ``holdback_limit`` caps the reorder buffer (see
+    :class:`repro.net.holdback.HoldbackOverflow`).
+    """
 
     base_rto: float = 0.5  # initial retransmit timeout (virtual time)
     max_rto: float = 8.0  # backoff ceiling
     backoff: float = 2.0  # timeout multiplier per retry round
+    max_retries: Optional[int] = 12  # retransmit rounds before giving up
+    probe_interval: float = 0.5  # spacing of liveness probes
+    max_probes: int = 5  # unanswered probes before declaring death
+    holdback_limit: Optional[int] = 1024  # reorder-buffer capacity
 
     def __post_init__(self) -> None:
         if self.base_rto <= 0 or self.max_rto < self.base_rto or self.backoff < 1.0:
             raise ValueError(f"malformed reliability config: {self}")
+        if self.max_retries is not None and self.max_retries < 1:
+            raise ValueError(f"max_retries must be positive or None: {self}")
+        if self.probe_interval <= 0 or self.max_probes < 1:
+            raise ValueError(f"malformed probe parameters: {self}")
+        if self.holdback_limit is not None and self.holdback_limit < 1:
+            raise ValueError(f"holdback_limit must be positive or None: {self}")
 
 
 @dataclass
@@ -102,6 +131,12 @@ class ReliabilityStats:
     lost_local_edits: int = 0
     recoveries: int = 0  # clients only: completed crash restarts
     resyncs_served: int = 0  # notifier only: recovery snapshots sent
+    give_ups: int = 0  # peers declared dead on retransmit-budget exhaustion
+    probes_sent: int = 0  # liveness heartbeats transmitted
+    handoffs: int = 0  # clients only: completed notifier failovers
+    promotions: int = 0  # successor only: notifier roles assumed
+    replayed_ops: int = 0  # clients only: pending ops regenerated after failover
+    replays_deduped: int = 0  # clients only: pending ops already in the baseline
 
 
 @dataclass
@@ -114,6 +149,18 @@ class _PeerLink:
     rto: float = 0.0
     timer: Any = None  # pending retransmit event, if armed
     recv_next: int = 0  # next seq to release to the editor
+    retries: int = 0  # consecutive retransmit rounds without ack progress
+    dead: bool = False  # budget exhausted: traffic parked, timer disarmed
+
+
+@dataclass
+class _ProbeState:
+    """One in-flight bounded liveness probe toward one peer."""
+
+    remaining: int
+    on_alive: PeerCallback
+    on_dead: PeerCallback
+    timer: Any = None
 
 
 @runtime_checkable
@@ -216,9 +263,16 @@ class ReliableEndpoint:
         self.deliver = deliver
         self.tracer = tracer
         self.crashed = False
+        # Invoked (once per death) when a peer exhausts the retransmit
+        # budget -- the failover detector's signal.  Assigned by the
+        # session layer; ``None`` means deaths are silent.
+        self.on_peer_dead: Optional[PeerCallback] = None
         self._links: dict[int, _PeerLink] = {}
+        self._probes: dict[int, _ProbeState] = {}
         # Out-of-order packets held for sequencing, one stream per peer.
-        self._holdback: HoldbackQueue[Envelope] = HoldbackQueue()
+        self._holdback: HoldbackQueue[Envelope] = HoldbackQueue(
+            capacity=reliability.holdback_limit if reliability else None
+        )
         # Audit trace: per source, the (epoch, seq) of every packet
         # actually handed to the editor, in release order.  Deliberately
         # not link state (and not cleared on crash): the in-order audit
@@ -254,6 +308,11 @@ class ReliableEndpoint:
         link.send_seq += 1
         link.unacked[seq] = (payload, timestamp_bytes, kind)
         self.stats.sent += 1
+        if link.dead:
+            # The peer was declared dead: park the packet in the send
+            # window without touching the wire.  If the peer ever talks
+            # again the link resurrects and the window retransmits.
+            return
         if self.tracer is not None:
             self.tracer.emit(TraceEventKind.SENT, self.pid, peer=dest,
                              epoch=link.epoch, seq=seq,
@@ -268,7 +327,7 @@ class ReliableEndpoint:
         self.wire_send(dest, packet, ts_bytes, kind)
 
     def _arm_timer(self, dest: int, link: _PeerLink) -> None:
-        if link.timer is None and link.unacked:
+        if link.timer is None and link.unacked and not link.dead:
             link.timer = self.sim.schedule_after(
                 link.rto, lambda: self._on_timer(dest, link)
             )
@@ -280,6 +339,11 @@ class ReliableEndpoint:
         if self.crashed or self._links.get(dest) is not link or not link.unacked:
             return
         assert self.reliability is not None
+        limit = self.reliability.max_retries
+        if limit is not None and link.retries >= limit:
+            self._give_up(dest, link)
+            return
+        link.retries += 1
         for seq in sorted(link.unacked):
             payload, ts_bytes, kind = link.unacked[seq]
             self.stats.retransmits += 1
@@ -289,6 +353,22 @@ class ReliableEndpoint:
                                  op_id=_traced_op_id(payload))
             self._transmit(dest, link, seq, payload, ts_bytes, kind)
         link.rto = min(link.rto * self.reliability.backoff, self.reliability.max_rto)
+        self._arm_timer(dest, link)
+
+    def _give_up(self, dest: int, link: _PeerLink) -> None:
+        """Retransmit budget exhausted: park the link, report the death."""
+        link.dead = True
+        self.stats.give_ups += 1
+        callback = self.on_peer_dead
+        if callback is not None:
+            callback(dest)
+
+    def _resurrect(self, dest: int, link: _PeerLink) -> None:
+        """The peer spoke again: un-park and resume retransmission."""
+        assert self.reliability is not None
+        link.dead = False
+        link.retries = 0
+        link.rto = self.reliability.base_rto
         self._arm_timer(dest, link)
 
     # -- receiving -------------------------------------------------------------
@@ -310,6 +390,15 @@ class ReliableEndpoint:
     def _receive_packet(self, envelope: Envelope, packet: ReliablePacket) -> None:
         source = envelope.source
         link = self._link(source)
+        # Any arrival is proof of life: resolve an outstanding probe and
+        # resurrect a parked link before interpreting the packet itself.
+        if link.dead:
+            self._resurrect(source, link)
+        probe_state = self._probes.pop(source, None)
+        if probe_state is not None:
+            if probe_state.timer is not None:
+                self.sim.cancel(probe_state.timer)
+            probe_state.on_alive(source)
         if packet.epoch < link.epoch:
             self.stats.stale_epoch_discarded += 1
             return
@@ -319,7 +408,11 @@ class ReliableEndpoint:
             link = self.reset_link(source, packet.epoch)
         if packet.ack >= 0:
             self._process_ack(source, link, packet.ack)
-        if packet.seq < 0:  # pure acknowledgement
+        if packet.seq < 0:  # pure acknowledgement / probe
+            if packet.probe:
+                # Heartbeat: answer so the prober hears back even when
+                # no sequenced traffic is flowing in either direction.
+                self._send_ack(source, link)
             return
         if packet.seq < link.recv_next:
             # Duplicate of something already released: re-ack so the
@@ -331,7 +424,15 @@ class ReliableEndpoint:
             # A gap: hold the packet back until retransmission fills it.
             # Releasing it now would reorder the stream and break the
             # FIFO precondition of formulas (5) and (7).
-            if self._holdback.hold(source, packet.seq, envelope):
+            try:
+                fresh = self._holdback.hold(source, packet.seq, envelope)
+            except HoldbackOverflow:
+                if self.tracer is not None:
+                    self.tracer.emit(TraceEventKind.HOLDBACK_OVERFLOW,
+                                     self.pid, peer=source,
+                                     epoch=packet.epoch, seq=packet.seq)
+                raise
+            if fresh:
                 self.stats.out_of_order_held += 1
                 if self.tracer is not None:
                     self.tracer.emit(TraceEventKind.HELD_BACK, self.pid,
@@ -386,6 +487,7 @@ class ReliableEndpoint:
         if acked:
             assert self.reliability is not None
             link.rto = self.reliability.base_rto  # progress: reset backoff
+            link.retries = 0  # progress: refill the retransmit budget
             # Restart the retransmit clock: the surviving packets were all
             # sent more recently than the one just acknowledged, so the
             # old deadline would fire spuriously (a full RTO must elapse
@@ -398,6 +500,51 @@ class ReliableEndpoint:
             self.sim.cancel(link.timer)
             link.timer = None
 
+    # -- liveness probing --------------------------------------------------------
+
+    def probe_peer(self, peer: int, on_alive: PeerCallback,
+                   on_dead: PeerCallback) -> None:
+        """Confirm a liveness suspicion with a bounded heartbeat.
+
+        Sends up to ``max_probes`` probe packets, ``probe_interval``
+        apart.  The first *anything* received from the peer -- an ack,
+        a data packet, even stale-epoch traffic -- resolves the probe
+        as alive; silence through the whole budget resolves it as dead.
+        Unlike a perpetual heartbeat this always quiesces, which the
+        discrete-event simulator's run-to-quiescence contract requires.
+        A probe already in flight toward ``peer`` is left to finish.
+        """
+        if self.reliability is None:
+            raise RuntimeError("liveness probes require the reliability protocol")
+        if peer in self._probes:
+            return
+        state = _ProbeState(remaining=self.reliability.max_probes,
+                            on_alive=on_alive, on_dead=on_dead)
+        self._probes[peer] = state
+        self._probe_tick(peer, state)
+
+    def _probe_tick(self, peer: int, state: _ProbeState) -> None:
+        state.timer = None
+        if self.crashed or self._probes.get(peer) is not state:
+            return
+        assert self.reliability is not None
+        if state.remaining <= 0:
+            del self._probes[peer]
+            state.on_dead(peer)
+            return
+        state.remaining -= 1
+        self.stats.probes_sent += 1
+        link = self._link(peer)
+        packet = ReliablePacket(seq=-1, epoch=link.epoch,
+                                ack=link.recv_next - 1, probe=True)
+        # Probes ride the ack packet class: like a lost ack, a lost
+        # probe forces no retransmission (the next tick re-probes).
+        self.wire_send(peer, packet, 0, "ack")
+        state.timer = self.sim.schedule_after(
+            self.reliability.probe_interval,
+            lambda: self._probe_tick(peer, state),
+        )
+
     # -- crash / epoch management ----------------------------------------------
 
     def go_down(self) -> None:
@@ -408,6 +555,32 @@ class ReliableEndpoint:
                 self.sim.cancel(link.timer)
             self._holdback.clear(peer)
         self._links = {}
+        for state in self._probes.values():
+            if state.timer is not None:
+                self.sim.cancel(state.timer)
+        self._probes = {}
+
+    def abandon_peer(self, peer: int) -> int:
+        """Forget a peer entirely: link, reorder buffer, probes.
+
+        Used on notifier failover: a client re-homing to the successor
+        must stop retransmitting into the dead centre and must not hold
+        the old centre's in-flight packets hostage in its reorder
+        buffer.  The release-trace audit is deliberately kept -- what
+        was already delivered stays audited.  Returns the number of
+        send-window packets voided.
+        """
+        voided = 0
+        link = self._links.pop(peer, None)
+        if link is not None:
+            if link.timer is not None:
+                self.sim.cancel(link.timer)
+            voided = len(link.unacked)
+        self._holdback.clear(peer)
+        state = self._probes.pop(peer, None)
+        if state is not None and state.timer is not None:
+            self.sim.cancel(state.timer)
+        return voided
 
     def revive(self) -> None:
         """Accept traffic again (the caller then opens a fresh epoch)."""

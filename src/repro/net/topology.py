@@ -114,6 +114,21 @@ class StarTopology(_BaseTopology):
             raise ValueError(f"client {client.pid} is already connected")
         self._connect(self._sim, self._center, client, self._factory)
 
+    def connect_pair(self, a: SimProcess, b: SimProcess) -> None:
+        """Wire two processes directly, idempotently.
+
+        Notifier failover re-shapes the star around a promoted client:
+        election traffic needs a detector-to-successor edge and the new
+        centre needs a spoke to every survivor.  Channels that already
+        exist (including the original centre spokes) are left untouched,
+        so existing FIFO streams and their statistics survive rewiring.
+        """
+        if a.pid == b.pid:
+            raise ValueError(f"cannot wire process {a.pid} to itself")
+        if (a.pid, b.pid) in self.channels:
+            return
+        self._connect(self._sim, a, b, self._factory)
+
 
 class MeshTopology(_BaseTopology):
     """Fully-distributed topology: every pair of sites directly connected.

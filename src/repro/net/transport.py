@@ -38,8 +38,24 @@ def measure_payload_bytes(payload: Any) -> int:
         return 4 + len(str(payload.op_id)) + measure_payload_bytes(payload.op)
     if hasattr(payload, "op") and hasattr(payload, "vc"):  # mesh records
         return 4 + measure_payload_bytes(payload.op)
+    if hasattr(payload, "successor") and hasattr(payload, "notifier_epoch"):
+        return 2 * INT_WIDTH  # failover promotions
+    if hasattr(payload, "notifier_epoch") and not hasattr(payload, "document"):
+        return INT_WIDTH  # failover elections
+    if hasattr(payload, "received_per_origin") and hasattr(payload, "pending"):
+        # Failover state contributions: SV_i, per-origin counts, the
+        # stashed pending ops, and the replica document.
+        size = 3 * INT_WIDTH + 2 * INT_WIDTH * len(payload.received_per_origin)
+        size += sum(
+            len(str(op_id)) + 1 + measure_payload_bytes(op)
+            for op_id, op in payload.pending
+        )
+        return size + measure_payload_bytes(payload.document)
     if hasattr(payload, "document") and hasattr(payload, "base_count"):  # snapshots
-        return 4 + measure_payload_bytes(payload.document)
+        size = 4 + measure_payload_bytes(payload.document)
+        for op_id in getattr(payload, "incorporated", None) or ():
+            size += len(str(op_id)) + 1  # failover dedup set
+        return size
     if isinstance(payload, Insert):
         return 1 + INT_WIDTH + len(payload.text.encode("utf-8"))
     if isinstance(payload, Delete):

@@ -43,8 +43,29 @@ _DAG_KINDS = frozenset(
         TraceEventKind.SNAPSHOT,
         TraceEventKind.CRASHED,
         TraceEventKind.RECOVERED,
+        # Failover milestones are program-order-only nodes: they order a
+        # site's own timeline (a successor's post-promotion generations
+        # follow its election) but add no cross-site edge of their own --
+        # causality crosses sites only through the failover SNAPSHOT ->
+        # RECOVERED transfer, mirroring the ground-truth clock merge.
+        TraceEventKind.ELECTED,
+        TraceEventKind.PROMOTED,
+        TraceEventKind.HANDOFF,
     }
 )
+
+
+def _transfer_category(via: Optional[str]) -> str:
+    """Snapshot/recovery matching category.
+
+    Failover re-admission and crash resync both use epoch-numbered
+    snapshots, and a client's crash epochs are numbered independently of
+    the notifier epochs -- ``(peer, 1)`` alone would collide when site 3
+    both restarts (crash epoch 1) and survives a failover (notifier
+    epoch 1).  The ``via`` tag separates the two keyspaces; historic
+    traces without the tag fall into the resync category.
+    """
+    return "failover" if via == "failover" else "resync"
 
 
 class TraceAnalysisError(ValueError):
@@ -64,10 +85,12 @@ class TraceCausality:
       ``GENERATED`` or ``TRANSFORMED`` event; the notifier's transformed
       output counts as a fresh operation generated at site 0, exactly as
       in the paper's Section 3.1 -- to every execution of the operation;
-    * an edge from each ``SNAPSHOT`` event to the matching *resync*
-      ``RECOVERED`` event (matched on destination site and epoch): a
-      crash-recovery state transfer delivers the sender's entire causal
-      history in bulk.  Join snapshots create **no** edge -- the
+    * an edge from each ``SNAPSHOT`` event to the matching *resync* or
+      *failover* ``RECOVERED`` event (matched on destination site,
+      epoch, and transfer category -- crash epochs and notifier epochs
+      are numbered independently): a state transfer delivers the
+      sender's entire causal history in bulk.  Join snapshots create
+      **no** edge -- the
       ground-truth event log does not absorb the notifier's clock on a
       join, so a joiner's first operations are concurrent with the
       pre-join history, and the trace relation mirrors that.
@@ -98,7 +121,7 @@ class TraceCausality:
         position = {event.index: pos for pos, event in enumerate(nodes)}
         successors: list[list[int]] = [[] for _ in nodes]
         last_at_site: dict[int, int] = {}
-        pending_snapshots: dict[tuple[int, int], int] = {}
+        pending_snapshots: dict[tuple[int, int, str], int] = {}
         for pos, event in enumerate(nodes):
             previous = last_at_site.get(event.site)
             if previous is not None:
@@ -116,9 +139,12 @@ class TraceCausality:
                 successors[position[generation.index]].append(pos)
             elif event.kind is TraceEventKind.SNAPSHOT:
                 if event.peer is not None:
-                    pending_snapshots[(event.peer, event.epoch or 0)] = pos
+                    key = (event.peer, event.epoch or 0, _transfer_category(event.via))
+                    pending_snapshots[key] = pos
             elif event.kind is TraceEventKind.RECOVERED and event.via != "join":
-                sender = pending_snapshots.pop((event.site, event.epoch or 0), None)
+                sender = pending_snapshots.pop(
+                    (event.site, event.epoch or 0, _transfer_category(event.via)), None
+                )
                 if sender is not None:
                     successors[sender].append(pos)
         reach = [0] * len(nodes)

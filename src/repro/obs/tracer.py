@@ -49,6 +49,10 @@ class TraceEventKind(enum.Enum):
     SNAPSHOT = "snapshot"  # the notifier served a state snapshot
     CRASHED = "crashed"  # a client lost its volatile state
     RECOVERED = "recovered"  # a client installed a snapshot and went active
+    ELECTED = "elected"  # a successor accepted a notifier election
+    PROMOTED = "promoted"  # the successor assumed the notifier role
+    HANDOFF = "handoff"  # a client switched its centre to the successor
+    HOLDBACK_OVERFLOW = "holdback_overflow"  # the reorder buffer hit capacity
 
 
 @dataclass(frozen=True)
@@ -61,7 +65,8 @@ class TraceEvent:
     the emitting layer does not know them: transport events carry
     ``epoch``/``seq`` but no compressed timestamp, editor events the
     reverse.  ``via`` qualifies releases (``"direct"`` vs
-    ``"holdback"``) and recoveries (``"join"`` vs ``"resync"``).
+    ``"holdback"``), snapshots and recoveries (``"join"`` /
+    ``"resync"`` / ``"failover"``).
     """
 
     index: int

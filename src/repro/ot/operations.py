@@ -199,6 +199,33 @@ def apply_clamped(document: str, op: Operation) -> str:
     return op.apply(document)
 
 
+def clamp_to(document: str, op: Operation) -> Operation:
+    """The operation with positions forced into range for ``document``.
+
+    Failover replay needs this: a pending operation stashed before a
+    notifier crash was defined against the client's pre-crash document,
+    but is regenerated against the successor's baseline, which may be
+    shorter (operations the dead notifier acknowledged but never relayed
+    are rolled back).  The clamped form keeps as much of the intention
+    as fits; anything out of range degrades toward an identity rather
+    than raising.  Non-positional operation types pass through.
+    """
+    if isinstance(op, OperationGroup):
+        members: list[Operation] = []
+        state = document
+        for member in op.members:
+            clamped = clamp_to(state, member)
+            members.append(clamped)
+            state = clamped.apply(state)
+        return OperationGroup(tuple(members))
+    if isinstance(op, Insert):
+        return Insert(op.text, min(op.pos, len(document)))
+    if isinstance(op, Delete):
+        pos = min(op.pos, len(document))
+        return Delete(min(op.count, len(document) - pos), pos)
+    return op
+
+
 def apply_sequence(document: str, ops: Sequence[Operation]) -> str:
     """Execute a sequence of operations left-to-right."""
     for op in ops:

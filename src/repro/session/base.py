@@ -54,8 +54,22 @@ class SessionBase:
     tracer: Optional[Tracer] = None
 
     def endpoints(self) -> Sequence[Any]:
-        """The document-bearing processes, in canonical site order."""
+        """The document-bearing processes, in canonical site order.
+
+        After a role transfer (notifier failover) this reflects the
+        *current* replica set: dead roles drop out, promoted ones join.
+        """
         raise NotImplementedError
+
+    def participants(self) -> Sequence[Any]:
+        """Every process that ever played a role, dead ones included.
+
+        Diagnostics (check records, delivery audits) must cover the
+        whole run -- a crashed notifier's pre-crash checks are still
+        evidence.  Defaults to :meth:`endpoints`; sessions with role
+        transfer override it.
+        """
+        return self.endpoints()
 
     # -- running ---------------------------------------------------------------
 
@@ -93,7 +107,7 @@ class SessionBase:
     def all_checks(self) -> list[CheckRecord]:
         """Every concurrency check recorded by any endpoint."""
         records: list[CheckRecord] = []
-        for endpoint in self.endpoints():
+        for endpoint in self.participants():
             records.extend(getattr(endpoint, "checks", ()))
         return records
 
@@ -105,5 +119,5 @@ class SessionBase:
         """True iff every endpoint's transport released a gap-free FIFO
         stream to the editor (trivially true without reliability)."""
         return all(
-            endpoint.transport.delivered_in_order() for endpoint in self.endpoints()
+            endpoint.transport.delivered_in_order() for endpoint in self.participants()
         )

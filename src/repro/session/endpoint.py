@@ -40,17 +40,32 @@ class EditorEndpoint(SimProcess):
 
     def __init__(self, sim: Simulator, pid: int,
                  reliability: Optional[ReliabilityConfig] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 *, adopt_transport: Optional[AnyTransport] = None) -> None:
         super().__init__(sim, pid)
         self.tracer = tracer
-        self.transport = build_transport(
-            sim,
-            pid,
-            reliability,
-            wire_send=self._wire_send,
-            deliver=self._handle_app_message,
-            tracer=tracer,
-        )
+        if adopt_transport is not None:
+            # Role transfer (notifier failover): the new endpoint takes
+            # over an existing transport -- live links, sequence numbers,
+            # stats and all -- and re-points its I/O hooks at itself.
+            # The previous owner's incoming wire traffic now lands here.
+            if adopt_transport.pid != pid:
+                raise ValueError(
+                    f"cannot adopt transport of pid {adopt_transport.pid} "
+                    f"into endpoint {pid}"
+                )
+            self.transport = adopt_transport
+            adopt_transport.wire_send = self._wire_send
+            adopt_transport.deliver = self._handle_app_message
+        else:
+            self.transport = build_transport(
+                sim,
+                pid,
+                reliability,
+                wire_send=self._wire_send,
+                deliver=self._handle_app_message,
+                tracer=tracer,
+            )
 
     # -- wiring ------------------------------------------------------------------
 

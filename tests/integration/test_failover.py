@@ -1,0 +1,161 @@
+"""End-to-end notifier failover: the star survives losing its centre.
+
+The acceptance scenario of the failover subsystem: the notifier crashes
+permanently mid-workload, a surviving client detects the silence
+(retransmit-budget exhaustion confirmed by a bounded liveness probe),
+is elected successor, reconstructs the notifier state from per-client
+contributions, and re-admits every survivor under notifier epoch 1 --
+after which the session must converge with every compressed concurrency
+verdict matching the full-vector-clock oracle, including across the
+epoch boundary in the recorded trace.
+"""
+
+import random
+
+import pytest
+
+from repro.editor.star import StarSession
+from repro.net.channel import UniformLatency
+from repro.net.faults import ChannelFaults, ClientCrash, FaultPlan, NotifierCrash
+from repro.net.reliability import ReliabilityConfig
+from repro.obs import TraceCausality, cross_check_causality, verify_check_records
+from repro.obs.tracer import Tracer
+from repro.ot.operations import Insert
+
+# A small budget so detection fires in seconds of virtual time instead
+# of the production default's ~minute.
+FAST_DETECT = ReliabilityConfig(max_retries=4)
+
+
+def latency_factory(src, dst):
+    return UniformLatency(0.02, 0.15, random.Random(src * 13 + dst * 101))
+
+
+def failover_session(standby=None, crashes=(), crash_at=5.0, tracer=None):
+    plan = FaultPlan(
+        notifier_crash=NotifierCrash(at=crash_at), crashes=tuple(crashes)
+    )
+    return StarSession(
+        3,
+        latency_factory=latency_factory,
+        verify_with_oracle=True,
+        fault_plan=plan,
+        reliability=FAST_DETECT,
+        standby_site=standby,
+        tracer=tracer,
+    )
+
+
+def drive_across_the_crash(session):
+    """Three edits fully settled before the crash, three generated after."""
+    for at, (site, char) in enumerate(
+        [(1, "a"), (2, "b"), (3, "c"), (1, "d"), (2, "e"), (3, "f")], start=1
+    ):
+        # at 1..3 pre-crash, 6..8 post-crash (the crash is at t=5.0)
+        session.generate_at(site, Insert(char, 0), at=float(at if at <= 3 else at + 2))
+    session.run()
+
+
+class TestFailoverAcceptance:
+    def test_standby_promotion_converges_with_oracle(self):
+        tracer = Tracer()
+        session = failover_session(standby=1, tracer=tracer)
+        drive_across_the_crash(session)
+
+        assert session.quiescent()
+        assert session.converged(), session.documents()
+        # The centre role moved to the warm standby under epoch 1.
+        assert session.promoted_notifier is not None
+        assert session.promoted_notifier.notifier_epoch == 1
+        assert session.client(1).promoted
+        assert len(session.endpoints()) == 3  # new centre + 2 survivors
+        # No operation was lost across the failover: every insert from
+        # both sides of the crash is in the converged document.
+        assert sorted(session.documents()[0]) == list("abcdef")
+        report = session.fault_report()
+        assert report.promotions == 1
+        assert report.handoffs == 2  # both survivors re-homed
+        assert report.give_ups >= 1  # the detection signal actually fired
+        assert report.probes_sent >= 1  # ... and was probe-confirmed
+        assert session.reliable_delivery_in_order()
+
+    def test_trace_cross_check_spans_the_epoch_boundary(self):
+        tracer = Tracer()
+        session = failover_session(standby=1, tracer=tracer)
+        drive_across_the_crash(session)
+
+        causality = TraceCausality(tracer.events)
+        report = cross_check_causality(causality, session.event_log)
+        assert report.ok, report.summary()
+        assert verify_check_records(causality, session.all_checks()) == []
+
+    def test_without_standby_the_lowest_live_site_wins(self):
+        session = failover_session(standby=None)
+        drive_across_the_crash(session)
+        assert session.converged(), session.documents()
+        assert session.client(1).promoted
+        assert session.fault_report().promotions == 1
+
+    def test_standby_preference_overrides_lowest_id(self):
+        session = failover_session(standby=2)
+        drive_across_the_crash(session)
+        assert session.converged(), session.documents()
+        assert session.client(2).promoted
+        assert not session.client(1).promoted
+
+    def test_detection_is_activity_triggered(self):
+        """A crash after the last settled edit is never even noticed."""
+        session = failover_session(standby=1, crash_at=50.0)
+        for at, (site, char) in enumerate([(1, "a"), (2, "b")], start=1):
+            session.generate_at(site, Insert(char, 0), at=float(at))
+        session.run()
+        assert session.converged()
+        assert session.promoted_notifier is None
+        assert session.fault_report().promotions == 0
+
+
+class TestFailoverMidResync:
+    def test_client_resyncing_from_the_dead_centre_completes(self):
+        """A client whose crash-recovery resync targets the old notifier
+        must end up served by the successor -- no duplicate, no loss."""
+        tracer = Tracer()
+        session = failover_session(
+            standby=1,
+            crashes=[ClientCrash(site=3, at=2.0, restart_at=4.0)],
+            crash_at=3.0,
+            tracer=tracer,
+        )
+        # One edit before anything fails, one while site 3 is down, one
+        # from the recovered site 3 after the new centre is in place.
+        session.generate_at(1, Insert("a", 0), at=1.0)
+        session.generate_at(2, Insert("b", 0), at=2.5)
+        session.generate_at(3, Insert("c", 0), at=40.0)
+        session.run()
+
+        assert session.quiescent()
+        assert session.converged(), session.documents()
+        assert sorted(session.documents()[0]) == list("abc")
+        report = session.fault_report()
+        assert report.promotions == 1
+        assert report.recoveries == 1  # site 3's restart completed
+        assert report.resyncs_served >= 1
+        causality = TraceCausality(tracer.events)
+        assert cross_check_causality(causality, session.event_log).ok
+        assert session.reliable_delivery_in_order()
+
+
+class TestFailoverGuards:
+    def test_standby_without_reliability_is_rejected(self):
+        with pytest.raises(ValueError):
+            StarSession(3, standby_site=1)
+
+    def test_standby_site_must_exist(self):
+        with pytest.raises(ValueError):
+            StarSession(3, reliability=FAST_DETECT, standby_site=9)
+
+    def test_notifier_crash_without_reliability_cannot_be_planned(self):
+        # A notifier crash in the plan implies a fault plan, which in
+        # turn forces the reliability protocol on -- so this constructs.
+        plan = FaultPlan(notifier_crash=NotifierCrash(at=1.0))
+        session = StarSession(2, fault_plan=plan)
+        assert session.reliability is not None

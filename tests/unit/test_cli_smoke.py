@@ -65,6 +65,28 @@ class TestFaultsSmoke:
         assert result.returncode == 0, result.stderr
         assert "protocol: sent=" in result.stdout
 
+    def test_notifier_crash_fails_over_end_to_end(self):
+        result = run_repro(
+            "session", "--sites", "3", "--ops", "4", "--seed", "7",
+            "--faults", "--crash-notifier", "2.0", "--standby", "2",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "converged        : True" in result.stdout
+        assert "promotions=1" in result.stdout
+        assert "in-order release : True" in result.stdout
+
+    def test_traced_notifier_crash_passes_the_cross_check(self, tmp_path):
+        result = run_repro(
+            "trace", "--sites", "3", "--ops", "4", "--seed", "3",
+            "--faults", "--crash-notifier", "2.0",
+            "--out", str(tmp_path / "failover"),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "EXACT MATCH" in result.stdout
+        assert "promotions=1" in result.stdout
+        assert "0 disagreements" in result.stdout
+        assert (tmp_path / "failover.jsonl").exists()
+
 
 class TestFigureSmoke:
     def test_fig3_walkthrough(self):
