@@ -13,6 +13,11 @@ and asserts the muted-tracer run stays within 5% of the baseline
 (min-of-N timing, interleaved to decorrelate machine noise).  The
 fully-enabled run is reported for context but not bounded -- recording
 events is allowed to cost what it costs.
+
+The phase profiler (:mod:`repro.obs.profiler`) makes the same promise
+for its hook sites -- one module-attribute check when nothing is
+installed, one extra ``enabled`` check when a muted profiler is -- and
+gets the same guard below.
 """
 
 import time
@@ -20,7 +25,7 @@ import time
 from conftest import emit
 
 from repro.editor.star import StarSession
-from repro.obs import Tracer
+from repro.obs import PhaseProfiler, Tracer, install, uninstall
 from repro.workloads.random_session import RandomSessionConfig, drive_star_session
 
 N_SITES = 4
@@ -79,3 +84,54 @@ def test_disabled_tracing_within_5_percent_of_baseline():
     session = run_session(Tracer())
     assert len(session.trace_events()) > 0
     del enabled
+
+
+def test_disabled_profiler_within_5_percent_of_baseline():
+    """A muted installed profiler must not slow the hot paths.
+
+    With ``PhaseProfiler(enabled=False)`` installed, every ``profiled``
+    hook runs its full disabled path -- read the module global, check
+    ``enabled``, call through -- which is the worst case a session pays
+    without opting into measurement.
+    """
+
+    def timed_with(profiler) -> float:
+        if profiler is not None:
+            install(profiler)
+        try:
+            start = time.perf_counter()
+            run_session(None)
+            return time.perf_counter() - start
+        finally:
+            if profiler is not None:
+                uninstall()
+
+    # Warm-up both variants.
+    timed_with(None)
+    timed_with(PhaseProfiler(enabled=False))
+    baseline = float("inf")
+    muted = float("inf")
+    for _ in range(REPEATS):  # interleaved so drift hits both alike
+        baseline = min(baseline, timed_with(None))
+        muted = min(muted, timed_with(PhaseProfiler(enabled=False)))
+    emit(
+        f"Profiler overhead (same deterministic session, min of {REPEATS} runs)",
+        f"  baseline (no profiler)  {baseline * 1000:.2f} ms\n"
+        f"  muted (enabled=False)   {muted * 1000:.2f} ms"
+        f"  ({muted / baseline:.3f}x baseline)",
+    )
+    assert muted <= baseline * 1.05, (
+        f"muted profiling cost {muted / baseline:.3f}x the un-instrumented "
+        f"baseline ({muted * 1000:.2f} ms vs {baseline * 1000:.2f} ms); "
+        "the disabled path must stay a module-attribute check"
+    )
+    # Sanity: an *enabled* profiler on the same session does record phases.
+    profiler = PhaseProfiler()
+    install(profiler)
+    try:
+        run_session(None)
+    finally:
+        uninstall()
+    calls = profiler.phase_calls()
+    assert calls.get("ot.it", 0) >= 0 and calls  # some phases recorded
+    assert profiler.open_spans == 0

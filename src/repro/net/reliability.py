@@ -37,6 +37,7 @@ from typing import Any, Callable, Optional, Protocol, Union, runtime_checkable
 from repro.net.holdback import HoldbackOverflow, HoldbackQueue
 from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
+from repro.obs.profiler import profiled
 from repro.obs.tracer import Tracer, TraceEventKind
 
 WireSend = Callable[[int, Any, int, str], None]
@@ -137,6 +138,7 @@ class ReliabilityStats:
     promotions: int = 0  # successor only: notifier roles assumed
     replayed_ops: int = 0  # clients only: pending ops regenerated after failover
     replays_deduped: int = 0  # clients only: pending ops already in the baseline
+    stranded_at_crash: int = 0  # unacked data packets voided by go_down()
 
 
 @dataclass
@@ -213,6 +215,7 @@ class RawTransport:
         self.pid = pid
         self.tracer = tracer
 
+    @profiled("net.send")
     def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
              kind: str = "op") -> None:
         if self.tracer is not None:
@@ -220,6 +223,7 @@ class RawTransport:
                              op_id=_traced_op_id(payload))
         self.wire_send(dest, payload, timestamp_bytes, kind)
 
+    @profiled("net.recv")
     def on_wire(self, envelope: Envelope) -> None:
         if self.tracer is not None:
             # A perfect FIFO channel delivers every arrival in order.
@@ -295,6 +299,7 @@ class ReliableEndpoint:
             self._links[peer] = _PeerLink(rto=rto)
         return self._links[peer]
 
+    @profiled("net.send")
     def send(self, dest: int, payload: Any, timestamp_bytes: int = 0,
              kind: str = "op") -> None:
         if self.reliability is None:
@@ -332,6 +337,7 @@ class ReliableEndpoint:
                 link.rto, lambda: self._on_timer(dest, link)
             )
 
+    @profiled("net.retransmit")
     def _on_timer(self, dest: int, link: _PeerLink) -> None:
         link.timer = None
         # The link may have been replaced by a crash or an epoch bump
@@ -373,6 +379,7 @@ class ReliableEndpoint:
 
     # -- receiving -------------------------------------------------------------
 
+    @profiled("net.recv")
     def on_wire(self, envelope: Envelope) -> None:
         if self.crashed:
             self.stats.dropped_while_crashed += 1
@@ -554,6 +561,11 @@ class ReliableEndpoint:
             if link.timer is not None:
                 self.sim.cancel(link.timer)
             self._holdback.clear(peer)
+            # Post-mortem observability: how many sequenced data packets
+            # the crash destroyed before the peer acknowledged them.
+            self.stats.stranded_at_crash += sum(
+                1 for (_p, _t, kind) in link.unacked.values() if kind != "ack"
+            )
         self._links = {}
         for state in self._probes.values():
             if state.timer is not None:

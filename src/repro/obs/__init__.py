@@ -18,6 +18,12 @@ only lazily, inside functions.  The pieces:
   :func:`cross_check_causality`;
 * :func:`latency_histograms` -- per-site generation-to-execution
   latency from the same trace;
+* :class:`PhaseProfiler` / :func:`profiled` -- the hot-path phase
+  profiler (:mod:`repro.obs.profiler`): where a session's time goes,
+  per phase, behind the same single-attribute-check disabled path;
+* :mod:`repro.obs.bench` -- the benchmark scenario matrix, its
+  versioned ``BENCH_<label>.json`` artifacts, and the
+  :func:`compare_artifacts` regression gate;
 * JSONL and Chrome ``trace_event`` serialisation.
 """
 
@@ -30,8 +36,27 @@ from repro.obs.analysis import (
     released_without_cause,
     verify_check_records,
 )
+from repro.obs.bench import (
+    BENCH_FORMAT,
+    BENCH_SCHEMA_VERSION,
+    BenchScenario,
+    ComparisonReport,
+    compare_artifacts,
+    read_artifact,
+    run_scenario,
+    write_artifact,
+)
+from repro.obs.profiler import (
+    PhaseProfiler,
+    PhaseStats,
+    activated,
+    install,
+    profiled,
+    uninstall,
+)
 from repro.obs.tracer import (
     TRACE_FORMAT,
+    TRACE_SCHEMA_VERSION,
     Histogram,
     MetricsRegistry,
     TraceEvent,
@@ -43,20 +68,35 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BENCH_FORMAT",
+    "BENCH_SCHEMA_VERSION",
     "TRACE_FORMAT",
+    "TRACE_SCHEMA_VERSION",
+    "BenchScenario",
+    "ComparisonReport",
     "CrossCheckReport",
     "Histogram",
     "MetricsRegistry",
+    "PhaseProfiler",
+    "PhaseStats",
     "TraceAnalysisError",
     "TraceCausality",
     "TraceEvent",
     "TraceEventKind",
     "Tracer",
+    "activated",
+    "compare_artifacts",
     "cross_check_causality",
+    "install",
     "latency_histograms",
+    "profiled",
+    "read_artifact",
     "read_jsonl",
     "released_without_cause",
+    "run_scenario",
+    "uninstall",
     "verify_check_records",
+    "write_artifact",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,706 @@
+"""The machine-readable benchmark trajectory and its regression gate.
+
+``python -m repro bench`` runs a declared scenario matrix -- editing
+sessions (clock family x topology x N sites x fault plan) plus
+per-family clock microbenches -- and writes one versioned
+``BENCH_<label>.json`` artifact per invocation.  Each scenario record
+carries throughput (ops/sec, wall time), generation-to-execution
+latency percentiles in *virtual* time, the per-phase profiler breakdown
+from :mod:`repro.obs.profiler`, the hold-back queue high-water mark,
+clock storage in integers, and the measured tracing overhead.
+
+Two artifacts diff with :func:`compare_artifacts`, which is the CI
+regression gate: past a configurable threshold the comparison exits
+non-zero.  The gate's soundness rests on a split:
+
+* **deterministic** metrics -- message counts, phase call counts,
+  virtual-time latency percentiles, hold-back high-water, storage ints,
+  convergence -- are properties of the seeded simulation and must be
+  *identical* between runs of the same code.  Any drift means the
+  protocol's behaviour changed, so these are gated by default on every
+  machine, including CI.
+* **wall-clock** metrics (ops/sec) vary with the host; they are
+  recorded in every artifact for trend analysis but only gated when
+  ``gate_wall`` is requested (e.g. on a dedicated perf box).
+
+Layering: this module sits in ``repro.obs`` but orchestrates whole
+sessions, so -- like :mod:`repro.obs.analysis` -- every upward import
+(editor, net, workloads, clocks) happens lazily inside functions; the
+module surface itself needs only the stdlib and its obs siblings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.obs.profiler import PhaseProfiler, activated
+from repro.obs.tracer import Histogram, Tracer
+
+BENCH_FORMAT = "repro-bench-v1"
+BENCH_SCHEMA_VERSION = 1
+
+#: Default regression thresholds (relative deltas).
+DEFAULT_WARN_PCT = 0.10
+DEFAULT_FAIL_PCT = 0.25
+
+
+# -- the scenario matrix -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One declared benchmark scenario.
+
+    ``kind`` selects the harness: ``"session"`` runs a full seeded
+    editing session over ``topology``; ``"clocks"`` microbenches one
+    clock family's primitives through
+    :class:`repro.clocks.base.ProfiledClock`.  ``faults`` names a
+    canned fault plan (``none`` / ``lossy`` / ``crash``) -- sessions
+    only, and star only (the mesh has no reliability layer to absorb
+    them).
+    """
+
+    id: str
+    kind: str = "session"  # "session" | "clocks"
+    topology: str = "star"  # "star" | "mesh" (session kind only)
+    clock_family: str = "compressed"
+    n_sites: int = 4
+    ops_per_site: int = 8
+    seed: int = 0
+    faults: str = "none"  # "none" | "lossy" | "crash"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("session", "clocks"):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.topology not in ("star", "mesh"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.faults not in ("none", "lossy", "crash"):
+            raise ValueError(f"unknown fault plan {self.faults!r}")
+        if self.faults != "none" and (self.kind != "session" or self.topology != "star"):
+            raise ValueError("fault plans apply to star sessions only")
+        if self.n_sites < 1 or self.ops_per_site < 1:
+            raise ValueError("need n_sites >= 1 and ops_per_site >= 1")
+
+    def config_dict(self) -> dict[str, Any]:
+        """The scenario's declared parameters, canonical key order."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "topology": self.topology,
+            "clock_family": self.clock_family,
+            "n_sites": self.n_sites,
+            "ops_per_site": self.ops_per_site,
+            "seed": self.seed,
+            "faults": self.faults,
+        }
+
+
+#: The quick matrix: small enough for CI, wide enough to cover every
+#: axis (both topologies, a lossy and a crashy star, three structurally
+#: different clock families).
+QUICK_MATRIX: tuple[BenchScenario, ...] = (
+    BenchScenario(id="star-4x8-clean", n_sites=4, ops_per_site=8),
+    BenchScenario(id="star-8x6-clean", n_sites=8, ops_per_site=6),
+    BenchScenario(id="star-4x8-lossy", n_sites=4, ops_per_site=8, faults="lossy"),
+    BenchScenario(id="star-4x8-crash", n_sites=4, ops_per_site=8, faults="crash"),
+    BenchScenario(
+        id="mesh-4x6-clean", topology="mesh", clock_family="vector", n_sites=4, ops_per_site=6
+    ),
+    BenchScenario(id="clocks-vector", kind="clocks", clock_family="vector", n_sites=8, ops_per_site=50),
+    BenchScenario(id="clocks-sk", kind="clocks", clock_family="sk", n_sites=8, ops_per_site=50),
+    BenchScenario(
+        id="clocks-compressed", kind="clocks", clock_family="compressed", n_sites=8, ops_per_site=50
+    ),
+)
+
+#: The full matrix: the quick one plus bigger sessions and the
+#: remaining clock families.
+FULL_MATRIX: tuple[BenchScenario, ...] = QUICK_MATRIX + (
+    BenchScenario(id="star-16x4-clean", n_sites=16, ops_per_site=4),
+    BenchScenario(id="star-8x6-lossy", n_sites=8, ops_per_site=6, faults="lossy"),
+    BenchScenario(
+        id="mesh-8x4-clean", topology="mesh", clock_family="vector", n_sites=8, ops_per_site=4
+    ),
+    BenchScenario(id="clocks-matrix", kind="clocks", clock_family="matrix", n_sites=8, ops_per_site=50),
+    BenchScenario(id="clocks-fz", kind="clocks", clock_family="fz", n_sites=8, ops_per_site=50),
+    BenchScenario(id="clocks-lamport", kind="clocks", clock_family="lamport", n_sites=8, ops_per_site=50),
+    BenchScenario(
+        id="clocks-dimension", kind="clocks", clock_family="dimension", n_sites=8, ops_per_site=50
+    ),
+)
+
+
+def matrix(full: bool = False) -> tuple[BenchScenario, ...]:
+    return FULL_MATRIX if full else QUICK_MATRIX
+
+
+# -- session harness ---------------------------------------------------------------
+
+
+def _fault_plan(scenario: BenchScenario) -> Optional[Any]:
+    from repro.net.faults import ChannelFaults, ClientCrash, FaultPlan
+
+    if scenario.faults == "lossy":
+        return FaultPlan(
+            seed=scenario.seed,
+            default=ChannelFaults(drop_p=0.05, dup_p=0.02),
+        )
+    if scenario.faults == "crash":
+        return FaultPlan(
+            seed=scenario.seed,
+            default=ChannelFaults(drop_p=0.03),
+            crashes=(ClientCrash(site=1, at=2.0, restart_at=4.0),),
+        )
+    return None
+
+
+def _latency_factory(seed: int) -> Callable[[int, int], Any]:
+    # The same jittered-latency draw the ``session``/``trace`` commands
+    # use, so bench scenarios exercise the CLI-visible configuration.
+    from repro.net.channel import JitterLatency
+
+    def factory(src: int, dst: int) -> Any:
+        return JitterLatency(0.08, 0.6, random.Random(seed * 97 + src * 11 + dst))
+
+    return factory
+
+
+def _build_session(scenario: BenchScenario, tracer: Optional[Tracer]) -> Any:
+    from repro.editor import MeshSession, StarSession
+    from repro.workloads.random_session import (
+        RandomSessionConfig,
+        drive_mesh_session,
+        drive_star_session,
+    )
+
+    config = RandomSessionConfig(
+        n_sites=scenario.n_sites,
+        ops_per_site=scenario.ops_per_site,
+        seed=scenario.seed,
+    )
+    if scenario.topology == "star":
+        session: Any = StarSession(
+            scenario.n_sites,
+            initial_state=config.initial_document,
+            latency_factory=_latency_factory(scenario.seed),
+            fault_plan=_fault_plan(scenario),
+            tracer=tracer,
+        )
+        drive_star_session(session, config)
+    else:
+        session = MeshSession(
+            scenario.n_sites,
+            initial_document=config.initial_document,
+            latency_factory=_latency_factory(scenario.seed),
+            tracer=tracer,
+        )
+        drive_mesh_session(session, config)
+    return session
+
+
+def _holdback_high_water(session: Any) -> int:
+    """Peak reorder-buffer occupancy over every endpoint.
+
+    Star endpoints bury the queue in their reliability transport (absent
+    entirely on a perfect network); mesh sites expose ``hold_back``
+    directly.  The high-water mark is the *max* across endpoints -- the
+    worst single buffer, which is what a capacity bound must cover.
+    """
+    peak = 0
+    for endpoint in session.participants():
+        queue = getattr(endpoint, "hold_back", None)
+        if queue is None:
+            queue = getattr(getattr(endpoint, "transport", None), "_holdback", None)
+        if queue is not None:
+            peak = max(peak, int(queue.max_held))
+    return peak
+
+
+def _merged_latency(tracer: Tracer) -> Histogram:
+    from repro.obs.analysis import latency_histograms
+
+    merged = Histogram()
+    for hist in latency_histograms(tracer.events).values():
+        for value in hist.values:
+            merged.observe(value)
+    return merged
+
+
+def _run_session_scenario(scenario: BenchScenario, cprofile_top: int) -> dict[str, Any]:
+    ops = scenario.n_sites * scenario.ops_per_site
+
+    # Pass 1: the plain run -- no tracer, no profiler -- is the
+    # throughput measurement (and the overhead baseline).
+    t0 = time.perf_counter()
+    plain = _build_session(scenario, tracer=None)
+    plain.run()
+    plain_wall = time.perf_counter() - t0
+
+    # Pass 2: the instrumented run yields everything else.  Virtual-time
+    # results are identical between the passes by construction (the
+    # simulation is seeded and tracing never perturbs it).
+    tracer = Tracer()
+    profiler = PhaseProfiler(cprofile_top=cprofile_top)
+    t0 = time.perf_counter()
+    with activated(profiler):
+        session = _build_session(scenario, tracer=tracer)
+        session.run()
+    traced_wall = time.perf_counter() - t0
+
+    latency = _merged_latency(tracer)
+    overhead_pct = (
+        (traced_wall - plain_wall) / plain_wall * 100.0 if plain_wall > 0 else None
+    )
+    record = scenario.config_dict()
+    record.update(
+        {
+            "ops": ops,
+            "wall_s": plain_wall,
+            "ops_per_sec": ops / plain_wall if plain_wall > 0 else None,
+            "converged": bool(session.converged()),
+            "messages": int(session.wire_stats().messages),
+            "storage_ints": sum(
+                int(endpoint.clock_storage_ints()) for endpoint in session.endpoints()
+            ),
+            "holdback_high_water": _holdback_high_water(session),
+            "latency": {
+                "p50": latency.percentile(50),
+                "p95": latency.percentile(95),
+                "p99": latency.percentile(99),
+            },
+            "trace_overhead_pct": overhead_pct,
+            "phase_calls": profiler.phase_calls(),
+            "profile": profiler.as_dict(),
+        }
+    )
+    return record
+
+
+# -- clock microbench harness ------------------------------------------------------
+
+
+def _run_clocks_scenario(scenario: BenchScenario, cprofile_top: int) -> dict[str, Any]:
+    from repro.clocks.base import CLOCK_FAMILIES, ProfiledClock
+
+    family = next(
+        (f for f in CLOCK_FAMILIES if f.name == scenario.clock_family), None
+    )
+    if family is None:
+        raise ValueError(f"unknown clock family {scenario.clock_family!r}")
+    n = scenario.n_sites
+    rounds = scenario.ops_per_site
+    clocks = [ProfiledClock(family.factory(pid, n), family.name) for pid in range(n)]
+    rng = random.Random(scenario.seed)
+
+    profiler = PhaseProfiler(cprofile_top=cprofile_top)
+    snapshots: list[Any] = []
+    t0 = time.perf_counter()
+    with activated(profiler):
+        # Each round: every site ticks, stamps a message for a random
+        # peer, and the peer merges it -- the tick/timestamp/merge mix a
+        # session imposes, minus the editor above it.
+        for _ in range(rounds):
+            for pid, clock in enumerate(clocks):
+                clock.tick()
+                dest = rng.randrange(n - 1)
+                if dest >= pid:
+                    dest += 1
+                wire = clock.timestamp(dest)
+                clocks[dest].merge(pid, wire)
+                snapshots.append(clock.snapshot())
+        # The compare pass: adjacent snapshot pairs through the family's
+        # own judge (offline families answer None; the call cost is
+        # still the point).
+        judge = clocks[0]
+        for a, b in zip(snapshots, snapshots[1:]):
+            judge.compare(a, b)
+    wall = time.perf_counter() - t0
+
+    ops = rounds * n
+    record = scenario.config_dict()
+    record.update(
+        {
+            "ops": ops,
+            "wall_s": wall,
+            "ops_per_sec": ops / wall if wall > 0 else None,
+            "converged": True,
+            "messages": ops,
+            "storage_ints": sum(int(clock.storage_ints()) for clock in clocks),
+            "holdback_high_water": 0,
+            "latency": {"p50": None, "p95": None, "p99": None},
+            "trace_overhead_pct": None,
+            "phase_calls": profiler.phase_calls(),
+            "profile": profiler.as_dict(),
+        }
+    )
+    return record
+
+
+def run_scenario(scenario: BenchScenario, *, cprofile_top: int = 0) -> dict[str, Any]:
+    """Run one scenario; returns its artifact record."""
+    if scenario.kind == "clocks":
+        return _run_clocks_scenario(scenario, cprofile_top)
+    return _run_session_scenario(scenario, cprofile_top)
+
+
+def run_matrix(
+    scenarios: tuple[BenchScenario, ...],
+    *,
+    label: str,
+    quick: bool,
+    cprofile_top: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """Run every scenario and assemble the artifact document."""
+    records: list[dict[str, Any]] = []
+    for scenario in scenarios:
+        if progress is not None:
+            progress(f"running {scenario.id} ...")
+        records.append(run_scenario(scenario, cprofile_top=cprofile_top))
+    return {
+        "format": BENCH_FORMAT,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "git_rev": detect_git_rev(),
+        "quick": quick,
+        "scenarios": records,
+    }
+
+
+# -- artifacts ---------------------------------------------------------------------
+
+
+def detect_git_rev() -> str:
+    """The short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def validate_artifact(doc: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a readable bench artifact."""
+    if doc.get("format") != BENCH_FORMAT:
+        raise ValueError(f"unknown bench format {doc.get('format')!r}")
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"bad schema_version {version!r}")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list):
+        raise ValueError("artifact has no scenario list")
+    for record in scenarios:
+        if not isinstance(record, dict) or "id" not in record:
+            raise ValueError(f"malformed scenario record: {record!r}")
+
+
+def write_artifact(path: str, doc: dict[str, Any]) -> None:
+    """Write ``doc`` to ``path``, preserving any existing table blocks.
+
+    ``pytest benchmarks/`` and ``python -m repro bench`` share one
+    output file: whichever runs second must not clobber the other's
+    contribution, so regenerated ``tables`` already present in the file
+    are carried over unless ``doc`` replaces them by title.
+    """
+    if os.path.exists(path):
+        try:
+            existing = read_artifact(path)
+        except (ValueError, OSError, json.JSONDecodeError):
+            existing = None
+        if existing is not None:
+            tables = dict(existing.get("tables") or {})
+            tables.update(doc.get("tables") or {})
+            if tables:
+                doc = dict(doc)
+                doc["tables"] = tables
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def read_artifact(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a bench artifact")
+    validate_artifact(doc)
+    return doc
+
+
+def merge_table_blocks(path: str, blocks: list[tuple[str, str]]) -> None:
+    """Merge regenerated table blocks into the artifact at ``path``.
+
+    Creates a minimal artifact skeleton when the file does not exist
+    (the pytest benchmarks can run before any ``bench`` invocation).
+    Blocks replace same-titled predecessors.
+    """
+    doc: dict[str, Any]
+    if os.path.exists(path):
+        try:
+            doc = read_artifact(path)
+        except (ValueError, json.JSONDecodeError):
+            doc = {}
+    else:
+        doc = {}
+    if not doc:
+        doc = {
+            "format": BENCH_FORMAT,
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "label": "pytest",
+            "git_rev": detect_git_rev(),
+            "quick": True,
+            "scenarios": [],
+        }
+    tables = dict(doc.get("tables") or {})
+    for title, body in blocks:
+        tables[title] = body
+    doc["tables"] = tables
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+# -- the regression gate -----------------------------------------------------------
+
+#: Scenario metrics that must be identical between runs of the same
+#: code: pure functions of (code, seed) via the virtual-time simulation.
+DETERMINISTIC_METRICS: tuple[str, ...] = (
+    "ops",
+    "messages",
+    "storage_ints",
+    "holdback_high_water",
+    "latency.p50",
+    "latency.p95",
+    "latency.p99",
+)
+
+#: Wall-clock metrics: machine-dependent, gated only on request.
+WALL_METRICS: tuple[str, ...] = ("ops_per_sec",)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric of one scenario."""
+
+    scenario: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    delta_pct: Optional[float]  # relative delta; None when undefined
+    severity: str  # "ok" | "warn" | "fail" | "info"
+
+    def describe(self) -> str:
+        delta = "" if self.delta_pct is None else f" ({self.delta_pct * 100:+.1f}%)"
+        return (
+            f"[{self.severity:>4}] {self.scenario}: {self.metric} "
+            f"{self.baseline!r} -> {self.current!r}{delta}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """The outcome of diffing two bench artifacts."""
+
+    baseline_label: str
+    current_label: str
+    entries: list[MetricDelta] = field(default_factory=list)
+    warn_pct: float = DEFAULT_WARN_PCT
+    fail_pct: float = DEFAULT_FAIL_PCT
+
+    @property
+    def status(self) -> str:
+        severities = {entry.severity for entry in self.entries}
+        if "fail" in severities:
+            return "fail"
+        if "warn" in severities:
+            return "warn"
+        return "pass"
+
+    @property
+    def exit_code(self) -> int:
+        return {"pass": 0, "warn": 2, "fail": 1}[self.status]
+
+    def problems(self) -> list[MetricDelta]:
+        return [e for e in self.entries if e.severity in ("warn", "fail")]
+
+    def summary(self) -> str:
+        lines = [
+            f"bench comparison: {self.baseline_label} -> {self.current_label} "
+            f"(warn > {self.warn_pct * 100:.0f}%, fail > {self.fail_pct * 100:.0f}%)"
+        ]
+        problems = self.problems()
+        infos = [e for e in self.entries if e.severity == "info"]
+        for entry in problems + infos:
+            lines.append("  " + entry.describe())
+        checked = len(self.entries) - len(infos)
+        lines.append(
+            f"  {checked} metrics compared, {len(problems)} regressed -> {self.status.upper()}"
+        )
+        return "\n".join(lines)
+
+
+def _metric_value(record: dict[str, Any], metric: str) -> Optional[float]:
+    node: Any = record
+    for part in metric.split("."):
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    if node is None:
+        return None
+    if isinstance(node, bool):
+        return 1.0 if node else 0.0
+    if isinstance(node, (int, float)):
+        return float(node)
+    return None
+
+
+def _classify(delta: Optional[float], warn_pct: float, fail_pct: float) -> str:
+    if delta is None:
+        return "fail"  # a metric appeared or vanished: shape change
+    if delta > fail_pct:
+        return "fail"
+    if delta > warn_pct:
+        return "warn"
+    return "ok"
+
+
+def _compare_metric(
+    scenario: str,
+    metric: str,
+    base: Optional[float],
+    cur: Optional[float],
+    warn_pct: float,
+    fail_pct: float,
+    *,
+    drop_only: bool = False,
+) -> MetricDelta:
+    if base is None and cur is None:
+        return MetricDelta(scenario, metric, None, None, None, "ok")
+    if base is None or cur is None:
+        return MetricDelta(scenario, metric, base, cur, None, "fail")
+    if base == cur:
+        return MetricDelta(scenario, metric, base, cur, 0.0, "ok")
+    if base == 0:
+        delta = float("inf") if cur > 0 else float("-inf")
+    else:
+        delta = (cur - base) / abs(base)
+    if drop_only:
+        # Throughput: only a drop is a regression; gains are just news.
+        magnitude = max(0.0, -delta)
+    else:
+        magnitude = abs(delta)
+    return MetricDelta(
+        scenario, metric, base, cur, delta, _classify(magnitude, warn_pct, fail_pct)
+    )
+
+
+def compare_artifacts(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    warn_pct: float = DEFAULT_WARN_PCT,
+    fail_pct: float = DEFAULT_FAIL_PCT,
+    gate_wall: bool = False,
+) -> ComparisonReport:
+    """Diff two artifacts; the report's ``exit_code`` is the gate.
+
+    Every scenario present in ``baseline`` must appear in ``current``
+    (a vanished scenario is a hard failure -- the matrix shrank);
+    scenarios only in ``current`` are reported as ``info``.  Within a
+    scenario, the deterministic metrics, ``converged``, and every
+    baseline phase call counter are gated; wall-clock throughput only
+    under ``gate_wall``.
+    """
+    validate_artifact(baseline)
+    validate_artifact(current)
+    report = ComparisonReport(
+        baseline_label=str(baseline.get("label", "?")),
+        current_label=str(current.get("label", "?")),
+        warn_pct=warn_pct,
+        fail_pct=fail_pct,
+    )
+    base_by_id = {r["id"]: r for r in baseline["scenarios"]}
+    cur_by_id = {r["id"]: r for r in current["scenarios"]}
+
+    for scenario_id, base_record in base_by_id.items():
+        cur_record = cur_by_id.get(scenario_id)
+        if cur_record is None:
+            report.entries.append(
+                MetricDelta(scenario_id, "scenario", 1.0, None, None, "fail")
+            )
+            continue
+        # Convergence is pass/fail, not a percentage.
+        base_conv = _metric_value(base_record, "converged")
+        cur_conv = _metric_value(cur_record, "converged")
+        report.entries.append(
+            MetricDelta(
+                scenario_id,
+                "converged",
+                base_conv,
+                cur_conv,
+                None if base_conv != cur_conv else 0.0,
+                "ok" if base_conv == cur_conv else "fail",
+            )
+        )
+        for metric in DETERMINISTIC_METRICS:
+            report.entries.append(
+                _compare_metric(
+                    scenario_id,
+                    metric,
+                    _metric_value(base_record, metric),
+                    _metric_value(cur_record, metric),
+                    warn_pct,
+                    fail_pct,
+                )
+            )
+        # Phase names themselves contain dots ("ot.it"), so they are
+        # looked up directly rather than through the dotted-path helper.
+        base_calls = base_record.get("phase_calls") or {}
+        cur_calls = cur_record.get("phase_calls") or {}
+        for phase in sorted(base_calls):
+            base_count = base_calls.get(phase)
+            cur_count = cur_calls.get(phase)
+            report.entries.append(
+                _compare_metric(
+                    scenario_id,
+                    f"phase_calls.{phase}",
+                    float(base_count) if base_count is not None else None,
+                    float(cur_count) if cur_count is not None else None,
+                    warn_pct,
+                    fail_pct,
+                )
+            )
+        if gate_wall:
+            for metric in WALL_METRICS:
+                report.entries.append(
+                    _compare_metric(
+                        scenario_id,
+                        metric,
+                        _metric_value(base_record, metric),
+                        _metric_value(cur_record, metric),
+                        warn_pct,
+                        fail_pct,
+                        drop_only=True,
+                    )
+                )
+
+    for scenario_id in cur_by_id:
+        if scenario_id not in base_by_id:
+            report.entries.append(
+                MetricDelta(scenario_id, "scenario", None, 1.0, None, "info")
+            )
+    return report

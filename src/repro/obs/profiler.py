@@ -1,0 +1,355 @@
+"""The hot-path phase profiler: where does a session's time actually go?
+
+The tracer (:mod:`repro.obs.tracer`) records *what happened* to every
+operation; this module records *what it cost*.  A
+:class:`PhaseProfiler` aggregates named **phases** -- OT transformation,
+hold-back bookkeeping, reliability send/retransmit, codec encode/decode,
+clock primitives, notifier propagation -- into per-phase call counts,
+wall time, CPU time, and child-exclusive self time.  Phases nest: a
+``notifier.broadcast`` span naturally contains ``ot.transform_pair``
+and ``net.send`` spans, and the parent's *self* time excludes them.
+
+Like the tracer, the module is deliberately zero-dependency (stdlib
+only) and sits below every other ``repro`` package, so any layer may
+hook itself without creating an import cycle.
+
+Activation model
+----------------
+Hot paths cannot thread a profiler object through every call signature
+(``inclusion_transform`` is a free function three layers below the
+session), so activation is **module-global**: :func:`install` publishes
+a profiler as :data:`ACTIVE`, :func:`uninstall` retracts it, and
+:func:`activated` scopes the pair.  Every hook site guards on that one
+module attribute:
+
+* the :func:`profiled` decorator -- ``if ACTIVE is None: call through``
+  -- used by the function-shaped hot paths (OT transform, codec,
+  hold-back, reliability, notifier);
+* :class:`repro.clocks.base.ProfiledClock` -- the same guard around
+  every :class:`~repro.clocks.base.ClockProtocol` primitive, for all
+  seven clock families.
+
+Overhead contract
+-----------------
+Profiling is **opt-in**, mirroring the tracer's contract: with no
+profiler installed the per-hook cost is one module-attribute check (for
+decorated functions, plus the wrapper call python charges for any
+decorator), and ``benchmarks/test_trace_overhead.py`` guards a muted
+profiler (``PhaseProfiler(enabled=False)``) within 5% of the
+uninstrumented baseline.  An *enabled* profiler pays two clock reads
+per span and is allowed to cost what it costs.
+
+Determinism
+-----------
+Both clocks are injectable (``wall_clock``/``cpu_clock``), so tests
+drive spans with counters and assert exact arithmetic; all reports and
+dict exports are emitted in sorted phase order, so two identical runs
+produce byte-identical artifacts (modulo the timings themselves).
+
+Optional deep capture: ``cprofile_top=N`` additionally runs a
+:mod:`cProfile` profile between :meth:`PhaseProfiler.start` and
+:meth:`PhaseProfiler.stop` and exposes the top ``N`` functions by
+cumulative time -- the "why is this phase slow" drill-down.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import functools
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Callable, Iterator, Optional, TypeVar, cast
+
+PROFILE_SCHEMA_VERSION = 1
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+@dataclass
+class PhaseStats:
+    """Aggregated cost of one named phase.
+
+    ``wall``/``cpu`` are *cumulative* (outermost activations only, so
+    recursive re-entry never double-counts); ``self_wall`` is wall time
+    net of nested child phases, summed over every activation.
+    """
+
+    name: str
+    calls: int = 0
+    wall: float = 0.0
+    cpu: float = 0.0
+    self_wall: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-ready mapping, keys in canonical order."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "wall_s": self.wall,
+            "cpu_s": self.cpu,
+            "self_wall_s": self.self_wall,
+        }
+
+
+class _Frame:
+    """One open span on the profiler's stack."""
+
+    __slots__ = ("name", "wall_start", "cpu_start", "child_wall")
+
+    def __init__(self, name: str, wall_start: float, cpu_start: float) -> None:
+        self.name = name
+        self.wall_start = wall_start
+        self.cpu_start = cpu_start
+        self.child_wall = 0.0
+
+
+class _Span:
+    """Context manager binding one ``with profiler.phase(name):`` block."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._profiler.push(self._name)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._profiler.pop()
+
+
+class _NullSpan:
+    """The shared no-op span a muted profiler hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class PhaseProfiler:
+    """Aggregates nested phase spans into per-phase statistics.
+
+    ``enabled=False`` mutes the instance: :meth:`phase` returns a shared
+    no-op span and :meth:`push`/:meth:`pop` return immediately, for call
+    sites that hold a profiler object but want it silent.  The clocks
+    default to :func:`time.perf_counter` (wall) and
+    :func:`time.process_time` (CPU) and are injectable for deterministic
+    tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        wall_clock: Optional[Callable[[], float]] = None,
+        cpu_clock: Optional[Callable[[], float]] = None,
+        cprofile_top: int = 0,
+    ) -> None:
+        if cprofile_top < 0:
+            raise ValueError(f"cprofile_top must be >= 0, got {cprofile_top}")
+        self.enabled = enabled
+        self.cprofile_top = cprofile_top
+        self._wall = wall_clock if wall_clock is not None else time.perf_counter
+        self._cpu = cpu_clock if cpu_clock is not None else time.process_time
+        self._phases: dict[str, PhaseStats] = {}
+        self._stack: list[_Frame] = []
+        self._depth: dict[str, int] = {}
+        self._cprofile: Optional[cProfile.Profile] = None
+
+    # -- spans -------------------------------------------------------------------
+
+    def phase(self, name: str) -> "_Span | _NullSpan":
+        """A context manager timing one activation of ``name``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def push(self, name: str) -> None:
+        """Open a span (prefer :meth:`phase`; this is the raw primitive)."""
+        if not self.enabled:
+            return
+        self._stack.append(_Frame(name, self._wall(), self._cpu()))
+        self._depth[name] = self._depth.get(name, 0) + 1
+
+    def pop(self) -> None:
+        """Close the innermost open span and absorb its timings."""
+        if not self.enabled:
+            return
+        if not self._stack:
+            raise RuntimeError("pop() without a matching push()")
+        frame = self._stack.pop()
+        wall = self._wall() - frame.wall_start
+        cpu = self._cpu() - frame.cpu_start
+        stats = self._phases.get(frame.name)
+        if stats is None:
+            stats = PhaseStats(frame.name)
+            self._phases[frame.name] = stats
+        stats.calls += 1
+        depth = self._depth[frame.name] - 1
+        self._depth[frame.name] = depth
+        if depth == 0:
+            # Outermost activation: cumulative time counted exactly once
+            # even when the phase recursed into itself.
+            stats.wall += wall
+            stats.cpu += cpu
+        stats.self_wall += wall - frame.child_wall
+        if self._stack:
+            self._stack[-1].child_wall += wall
+
+    @property
+    def open_spans(self) -> int:
+        """How many spans are currently open (0 when balanced)."""
+        return len(self._stack)
+
+    # -- cProfile capture --------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the optional cProfile capture (no-op unless configured)."""
+        if self.enabled and self.cprofile_top > 0 and self._cprofile is None:
+            self._cprofile = cProfile.Profile()
+            self._cprofile.enable()
+
+    def stop(self) -> None:
+        """End the cProfile capture (idempotent)."""
+        if self._cprofile is not None:
+            self._cprofile.disable()
+
+    def top_functions(self) -> list[dict[str, object]]:
+        """The ``cprofile_top`` hottest functions by cumulative time."""
+        if self._cprofile is None or self.cprofile_top == 0:
+            return []
+        self._cprofile.disable()
+        stats: Any = pstats.Stats(self._cprofile)
+        rows: list[dict[str, object]] = []
+        for (filename, lineno, func), row in stats.stats.items():
+            cc, nc, tt, ct = row[0], row[1], row[2], row[3]
+            del cc
+            rows.append(
+                {
+                    "function": f"{filename}:{lineno}({func})",
+                    "calls": int(nc),
+                    "tottime_s": float(tt),
+                    "cumtime_s": float(ct),
+                }
+            )
+        rows.sort(key=lambda r: (-cast(float, r["cumtime_s"]), cast(str, r["function"])))
+        return rows[: self.cprofile_top]
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, PhaseStats]:
+        """Per-phase statistics, sorted by phase name."""
+        return dict(sorted(self._phases.items()))
+
+    def phase_calls(self) -> dict[str, int]:
+        """Just the (deterministic) call counters, sorted by phase name."""
+        return {name: stats.calls for name, stats in self.stats().items()}
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready export (sorted, so identical runs serialise alike)."""
+        out: dict[str, object] = {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "phases": [stats.as_dict() for stats in self.stats().values()],
+        }
+        top = self.top_functions()
+        if top:
+            out["top_functions"] = top
+        return out
+
+    def report(self) -> str:
+        """A human-readable table, hottest (by wall time) first."""
+        if not self._phases:
+            return "  (no phases recorded)"
+        ordered = sorted(
+            self._phases.values(), key=lambda s: (-s.wall, s.name)
+        )
+        lines = [
+            f"  {'phase':<28} {'calls':>8} {'wall ms':>10} {'self ms':>10} {'cpu ms':>10}"
+        ]
+        lines.extend(
+            f"  {stats.name:<28} {stats.calls:>8} {stats.wall * 1000:>10.3f} "
+            f"{stats.self_wall * 1000:>10.3f} {stats.cpu * 1000:>10.3f}"
+            for stats in ordered
+        )
+        return "\n".join(lines)
+
+
+# -- module-global activation ------------------------------------------------------
+
+#: The profiler hot paths report to, or ``None`` (the fast path).
+ACTIVE: Optional[PhaseProfiler] = None
+
+
+def install(profiler: PhaseProfiler) -> None:
+    """Publish ``profiler`` as :data:`ACTIVE` and start its capture."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("a profiler is already installed")
+    ACTIVE = profiler
+    profiler.start()
+
+
+def uninstall() -> Optional[PhaseProfiler]:
+    """Retract the active profiler (stopping its capture); returns it."""
+    global ACTIVE
+    profiler = ACTIVE
+    ACTIVE = None
+    if profiler is not None:
+        profiler.stop()
+    return profiler
+
+
+@contextmanager
+def activated(profiler: PhaseProfiler) -> Iterator[PhaseProfiler]:
+    """Scope an :func:`install`/:func:`uninstall` pair."""
+    install(profiler)
+    try:
+        yield profiler
+    finally:
+        uninstall()
+
+
+def profiled(name: str) -> Callable[[_F], _F]:
+    """Route every call of the decorated function through phase ``name``.
+
+    The disabled path -- no profiler installed, or a muted one -- is a
+    single module-attribute check before calling straight through.
+    """
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            profiler = ACTIVE
+            if profiler is None or not profiler.enabled:
+                return fn(*args, **kwargs)
+            profiler.push(name)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.pop()
+
+        return cast(_F, wrapper)
+
+    return decorate

@@ -35,6 +35,12 @@ from typing import Any, Callable, Iterable, Optional, TextIO
 
 TRACE_FORMAT = "repro-obs-trace-v1"
 
+#: Bumped whenever the JSONL schema changes shape.  Version 1 predates
+#: the field (readers treat a missing value as 1); version 2 fixed the
+#: event field order (canonical, not alphabetical) and added this
+#: header field.
+TRACE_SCHEMA_VERSION = 2
+
 
 class TraceEventKind(enum.Enum):
     """The event taxonomy: what can happen to an operation in flight."""
@@ -82,7 +88,13 @@ class TraceEvent:
     via: Optional[str] = None
 
     def to_json(self) -> str:
-        """One compact JSON object; ``None`` fields are omitted."""
+        """One compact JSON object; ``None`` fields are omitted.
+
+        Fields are emitted in the canonical schema order (``i``,
+        ``kind``, ``t``, ``site``, ``op``, ``peer``, ``epoch``, ``seq``,
+        ``ts``, ``src``, ``via``) -- not alphabetically -- so exports
+        are deterministic *and* diff cleanly between runs.
+        """
         data: dict[str, Any] = {
             "i": self.index,
             "kind": self.kind.value,
@@ -103,7 +115,7 @@ class TraceEvent:
             data["src"] = self.source_op_id
         if self.via is not None:
             data["via"] = self.via
-        return json.dumps(data, sort_keys=True)
+        return json.dumps(data)
 
     @classmethod
     def from_json(cls, line: str) -> "TraceEvent":
@@ -138,29 +150,42 @@ class Histogram:
         return len(self.values)
 
     @property
-    def minimum(self) -> float:
+    def minimum(self) -> Optional[float]:
+        """Smallest observed value, or ``None`` on an empty histogram."""
         if not self.values:
-            raise ValueError("empty histogram has no minimum")
+            return None
         return min(self.values)
 
     @property
-    def maximum(self) -> float:
+    def maximum(self) -> Optional[float]:
+        """Largest observed value, or ``None`` on an empty histogram."""
         if not self.values:
-            raise ValueError("empty histogram has no maximum")
+            return None
         return max(self.values)
 
     @property
-    def mean(self) -> float:
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean, or ``None`` on an empty histogram."""
         if not self.values:
-            raise ValueError("empty histogram has no mean")
+            return None
         return sum(self.values) / len(self.values)
 
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
-        if not self.values:
-            raise ValueError("empty histogram has no percentiles")
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        An empty histogram has no percentiles: returns ``None`` (callers
+        such as the bench artifact writer serialise that as JSON
+        ``null`` rather than crashing a whole report on one idle
+        scenario).  A single-sample histogram returns that sample for
+        every ``p``.  ``p`` outside [0, 100] is still a programming
+        error and raises.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return None
+        if len(self.values) == 1:
+            return self.values[0]
         ordered = sorted(self.values)
         rank = max(1, -(-int(p * len(ordered)) // 100))  # ceil without floats
         rank = min(rank, len(ordered))
@@ -298,11 +323,23 @@ class Tracer:
 def write_jsonl(
     events: Iterable[TraceEvent], fh: TextIO, header: Optional[dict[str, Any]] = None
 ) -> int:
-    """Write a header line plus one JSON line per event; returns lines."""
-    head: dict[str, Any] = {"format": TRACE_FORMAT}
+    """Write a header line plus one JSON line per event; returns lines.
+
+    The header always leads with ``format`` then ``schema_version``;
+    any caller-supplied extras follow in sorted key order.  Together
+    with the canonical event field order in
+    :meth:`TraceEvent.to_json` this makes exports byte-deterministic:
+    two runs of the same seeded scenario produce identical files.
+    """
+    head: dict[str, Any] = {
+        "format": TRACE_FORMAT,
+        "schema_version": TRACE_SCHEMA_VERSION,
+    }
     if header:
-        head.update(header)
-    fh.write(json.dumps(head, sort_keys=True) + "\n")
+        for key in sorted(header):
+            if key not in ("format", "schema_version"):
+                head[key] = header[key]
+    fh.write(json.dumps(head) + "\n")
     count = 1
     for event in events:
         fh.write(event.to_json() + "\n")

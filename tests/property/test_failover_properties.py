@@ -84,17 +84,38 @@ def run_session(params) -> StarSession:
     return session
 
 
+def broadcasts_stranded_at_crash(session: StarSession) -> bool:
+    """True iff the dead centre still held undelivered broadcasts.
+
+    Detection is activity-triggered (DESIGN §3.2): a client only
+    declares the centre dead when its *own* retransmit budget toward it
+    runs out.  If, at crash time, every client's uploads were already
+    acknowledged and the only in-flight traffic was centre→client, no
+    budget ever runs out, no promotion happens, and whatever the crash
+    ate stays lost — the protocol's documented liveness gap.  Such
+    draws cannot promise convergence; the property below scopes its
+    convergence claim by this predicate.  ``go_down()`` voids the link
+    state, so the count is snapshotted into the endpoint's stats at
+    crash time rather than read from the (cleared) send windows.
+    """
+    return session.notifier.transport.stats.stranded_at_crash > 0
+
+
 class TestFailoverProperties:
     @given(failover_params)
     @settings(max_examples=20, deadline=None)
     def test_converges_with_oracle_across_any_failover(self, params):
         session = run_session(params)  # ConsistencyError on oracle mismatch
         assert session.quiescent()
-        assert session.converged(), session.documents()
         assert session.reliable_delivery_in_order()
         if session.promoted_notifier is not None:
             assert session.promoted_notifier.notifier_epoch == 1
             assert session.fault_report().promotions == 1
+            assert session.converged(), session.documents()
+        elif not broadcasts_stranded_at_crash(session):
+            # No promotion and nothing stranded: the crash was silent
+            # (everything had settled), so replicas must agree.
+            assert session.converged(), session.documents()
 
     @given(failover_params)
     @settings(max_examples=12, deadline=None)

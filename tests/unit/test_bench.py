@@ -1,0 +1,262 @@
+"""Unit tests for the bench harness, artifact schema, and regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import bench
+from repro.obs.bench import (
+    BENCH_FORMAT,
+    BENCH_SCHEMA_VERSION,
+    BenchScenario,
+    compare_artifacts,
+    merge_table_blocks,
+    read_artifact,
+    run_scenario,
+    write_artifact,
+)
+
+
+def small_star() -> BenchScenario:
+    return BenchScenario(id="star-tiny", n_sites=3, ops_per_site=3, seed=7)
+
+
+class TestScenarios:
+    def test_matrix_ids_are_unique(self):
+        ids = [s.id for s in bench.FULL_MATRIX]
+        assert len(ids) == len(set(ids))
+        assert len(bench.QUICK_MATRIX) >= 4
+
+    def test_invalid_scenarios_rejected(self):
+        with pytest.raises(ValueError):
+            BenchScenario(id="x", kind="nope")
+        with pytest.raises(ValueError):
+            BenchScenario(id="x", topology="ring")
+        with pytest.raises(ValueError):
+            BenchScenario(id="x", faults="weird")
+        with pytest.raises(ValueError):
+            BenchScenario(id="x", topology="mesh", faults="lossy")
+        with pytest.raises(ValueError):
+            BenchScenario(id="x", n_sites=0)
+
+    def test_run_star_scenario_populates_record(self):
+        record = run_scenario(small_star())
+        assert record["id"] == "star-tiny"
+        assert record["converged"] is True
+        assert record["ops"] == 9
+        assert record["messages"] > 0
+        assert record["storage_ints"] > 0
+        assert record["latency"]["p50"] is not None
+        assert record["latency"]["p95"] is not None
+        # The profiler saw the hot paths of a transforming session.
+        assert record["phase_calls"].get("net.send", 0) > 0
+        assert record["phase_calls"].get("notifier.broadcast", 0) > 0
+        assert record["profile"]["schema_version"] == 1
+
+    def test_run_clocks_scenario_populates_record(self):
+        scenario = BenchScenario(
+            id="clocks-tiny", kind="clocks", clock_family="vector", n_sites=4, ops_per_site=5
+        )
+        record = run_scenario(scenario)
+        assert record["ops"] == 20
+        assert record["storage_ints"] == 4 * 4  # n vector clocks of n ints
+        assert record["phase_calls"]["clock.vector.tick"] == 20
+        assert record["phase_calls"]["clock.vector.merge"] == 20
+        assert record["latency"]["p50"] is None
+
+    def test_unknown_clock_family_rejected(self):
+        scenario = BenchScenario(id="x", kind="clocks", clock_family="sundial")
+        with pytest.raises(ValueError):
+            run_scenario(scenario)
+
+    def test_deterministic_metrics_are_reproducible(self):
+        a = run_scenario(small_star())
+        b = run_scenario(small_star())
+        for metric in bench.DETERMINISTIC_METRICS:
+            assert bench._metric_value(a, metric) == bench._metric_value(b, metric)
+        assert a["phase_calls"] == b["phase_calls"]
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        doc = bench.run_matrix((small_star(),), label="t", quick=True)
+        path = str(tmp_path / "BENCH_t.json")
+        write_artifact(path, doc)
+        loaded = read_artifact(path)
+        assert loaded == doc
+        assert loaded["format"] == BENCH_FORMAT
+        assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
+        assert loaded["git_rev"]
+
+    def test_validate_rejects_malformed(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"format": "something-else"}, fh)
+        with pytest.raises(ValueError):
+            read_artifact(path)
+
+    def test_write_preserves_existing_tables(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        merge_table_blocks(path, [("CLAIM-OVH", "the table body")])
+        doc = bench.run_matrix((small_star(),), label="x", quick=True)
+        write_artifact(path, doc)
+        loaded = read_artifact(path)
+        assert loaded["tables"]["CLAIM-OVH"] == "the table body"
+        assert loaded["scenarios"]
+
+    def test_merge_table_blocks_replaces_by_title(self, tmp_path):
+        path = str(tmp_path / "BENCH_y.json")
+        merge_table_blocks(path, [("T1", "old"), ("T2", "keep")])
+        merge_table_blocks(path, [("T1", "new")])
+        loaded = read_artifact(path)
+        assert loaded["tables"] == {"T1": "new", "T2": "keep"}
+        assert loaded["label"] == "pytest"  # skeleton created on first merge
+
+
+def synthetic_doc(**overrides):
+    """A minimal hand-built artifact for gate tests."""
+    record = {
+        "id": "s1",
+        "converged": True,
+        "ops": 100,
+        "ops_per_sec": 5000.0,
+        "messages": 400,
+        "storage_ints": 12,
+        "holdback_high_water": 3,
+        "latency": {"p50": 0.2, "p95": 0.5, "p99": 0.9},
+        "phase_calls": {"ot.it": 40, "codec.encode": 100},
+    }
+    record.update(overrides)
+    return {
+        "format": BENCH_FORMAT,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": "synthetic",
+        "git_rev": "deadbee",
+        "quick": True,
+        "scenarios": [record],
+    }
+
+
+class TestCompare:
+    def test_identical_docs_pass(self):
+        doc = synthetic_doc()
+        report = compare_artifacts(doc, copy.deepcopy(doc))
+        assert report.status == "pass"
+        assert report.exit_code == 0
+        assert not report.problems()
+
+    def test_small_drift_warns_exit_2(self):
+        base = synthetic_doc()
+        cur = synthetic_doc(messages=460)  # +15%: past warn, short of fail
+        report = compare_artifacts(base, cur)
+        assert report.status == "warn"
+        assert report.exit_code == 2
+        assert any(e.metric == "messages" for e in report.problems())
+
+    def test_large_drift_fails_exit_1(self):
+        base = synthetic_doc()
+        cur = synthetic_doc(messages=600)  # +50%
+        report = compare_artifacts(base, cur)
+        assert report.status == "fail"
+        assert report.exit_code == 1
+
+    def test_thresholds_are_configurable(self):
+        base = synthetic_doc()
+        cur = synthetic_doc(messages=460)
+        report = compare_artifacts(base, cur, warn_pct=0.20, fail_pct=0.50)
+        assert report.status == "pass"
+
+    def test_convergence_flip_fails(self):
+        report = compare_artifacts(synthetic_doc(), synthetic_doc(converged=False))
+        assert report.status == "fail"
+        assert any(e.metric == "converged" for e in report.problems())
+
+    def test_phase_call_drift_is_gated(self):
+        base = synthetic_doc()
+        cur = synthetic_doc(phase_calls={"ot.it": 80, "codec.encode": 100})
+        report = compare_artifacts(base, cur)
+        assert any(e.metric == "phase_calls.ot.it" for e in report.problems())
+
+    def test_missing_scenario_fails(self):
+        base = synthetic_doc()
+        cur = copy.deepcopy(base)
+        cur["scenarios"] = []
+        report = compare_artifacts(base, cur)
+        assert report.status == "fail"
+
+    def test_extra_scenario_is_informational(self):
+        base = synthetic_doc()
+        cur = copy.deepcopy(base)
+        extra = copy.deepcopy(cur["scenarios"][0])
+        extra["id"] = "s2"
+        cur["scenarios"].append(extra)
+        report = compare_artifacts(base, cur)
+        assert report.status == "pass"
+        assert any(e.severity == "info" for e in report.entries)
+
+    def test_metric_vanishing_fails(self):
+        base = synthetic_doc()
+        cur = synthetic_doc(latency={"p50": 0.2, "p95": None, "p99": 0.9})
+        report = compare_artifacts(base, cur)
+        assert report.status == "fail"
+        assert any(e.metric == "latency.p95" for e in report.problems())
+
+    def test_zero_baseline_to_nonzero_fails(self):
+        base = synthetic_doc(holdback_high_water=0)
+        cur = synthetic_doc(holdback_high_water=4)
+        report = compare_artifacts(base, cur)
+        assert any(
+            e.metric == "holdback_high_water" and e.severity == "fail"
+            for e in report.entries
+        )
+
+    def test_wall_clock_gated_only_on_request(self):
+        base = synthetic_doc()
+        cur = synthetic_doc(ops_per_sec=2000.0)  # -60% throughput
+        assert compare_artifacts(base, cur).status == "pass"
+        gated = compare_artifacts(base, cur, gate_wall=True)
+        assert gated.status == "fail"
+        # A throughput *gain* is never a regression, even when gated.
+        faster = synthetic_doc(ops_per_sec=9000.0)
+        assert compare_artifacts(base, faster, gate_wall=True).status == "pass"
+
+    def test_summary_mentions_regressions(self):
+        report = compare_artifacts(synthetic_doc(), synthetic_doc(messages=600))
+        text = report.summary()
+        assert "messages" in text and "FAIL" in text
+
+
+class TestCli:
+    def test_bench_cli_writes_and_gates(self, tmp_path, capsys):
+        out_dir = str(tmp_path)
+        rc = main(
+            ["bench", "--quick", "--scenario", "star-4x8-clean", "--label", "one",
+             "--out-dir", out_dir]
+        )
+        assert rc == 0
+        baseline = f"{out_dir}/BENCH_one.json"
+        assert read_artifact(baseline)["scenarios"][0]["id"] == "star-4x8-clean"
+        # Run-then-gate against the artifact just written: deterministic
+        # metrics are identical, so the gate passes.
+        rc = main(
+            ["bench", "--quick", "--scenario", "star-4x8-clean", "--label", "two",
+             "--out-dir", out_dir, "--compare", baseline]
+        )
+        assert rc == 0
+        # Diff-only mode over the two artifacts.
+        rc = main(["bench", "--compare", baseline, f"{out_dir}/BENCH_two.json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench comparison" in out
+
+    def test_bench_cli_rejects_unknown_scenario(self, tmp_path):
+        rc = main(
+            ["bench", "--scenario", "no-such-thing", "--out-dir", str(tmp_path)]
+        )
+        assert rc == 2
+
+    def test_bench_cli_rejects_missing_baseline(self, tmp_path):
+        rc = main(["bench", "--compare", str(tmp_path / "absent.json"), str(tmp_path / "b.json")])
+        assert rc == 2

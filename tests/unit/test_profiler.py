@@ -1,0 +1,227 @@
+"""Unit tests for the hot-path phase profiler.
+
+The profiler's arithmetic is tested with injected counter clocks, so
+every wall/cpu/self-time assertion is exact -- no sleeps, no tolerance
+bands.  The activation model (module-global install/uninstall) and the
+``profiled`` decorator's disabled path are covered alongside.
+"""
+
+import pytest
+
+from repro.obs import profiler as profmod
+from repro.obs.profiler import (
+    PROFILE_SCHEMA_VERSION,
+    PhaseProfiler,
+    activated,
+    install,
+    profiled,
+    uninstall,
+)
+
+
+class TickingClock:
+    """A fake clock advancing by a fixed step per read."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def manual_profiler():
+    """A profiler whose clocks only advance when the test says so."""
+    wall = TickingClock(step=0.0)
+    cpu = TickingClock(step=0.0)
+    profiler = PhaseProfiler(wall_clock=wall, cpu_clock=cpu)
+    return profiler, wall, cpu
+
+
+class TestSpanArithmetic:
+    def test_single_span_times_exactly(self):
+        profiler, wall, cpu = manual_profiler()
+        with profiler.phase("work"):
+            wall.now += 5.0
+            cpu.now += 3.0
+        stats = profiler.stats()["work"]
+        assert stats.calls == 1
+        assert stats.wall == 5.0
+        assert stats.cpu == 3.0
+        assert stats.self_wall == 5.0
+
+    def test_nested_span_self_time_excludes_children(self):
+        profiler, wall, _ = manual_profiler()
+        with profiler.phase("outer"):
+            wall.now += 2.0
+            with profiler.phase("inner"):
+                wall.now += 7.0
+            wall.now += 1.0
+        outer = profiler.stats()["outer"]
+        inner = profiler.stats()["inner"]
+        assert outer.wall == 10.0  # 2 + 7 + 1
+        assert outer.self_wall == 3.0  # net of the inner 7
+        assert inner.wall == 7.0
+        assert inner.self_wall == 7.0
+
+    def test_recursive_phase_counts_wall_once(self):
+        profiler, wall, _ = manual_profiler()
+        # fib-style recursion: the same phase nested in itself must not
+        # double-count cumulative wall time.
+        with profiler.phase("rec"):
+            wall.now += 1.0
+            with profiler.phase("rec"):
+                wall.now += 2.0
+                with profiler.phase("rec"):
+                    wall.now += 4.0
+        stats = profiler.stats()["rec"]
+        assert stats.calls == 3
+        assert stats.wall == 7.0  # outermost activation only, not 7+6+4
+        assert stats.self_wall == 7.0  # each level net of its child
+
+    def test_call_counts_are_exact(self):
+        profiler, _, _ = manual_profiler()
+        for _ in range(13):
+            with profiler.phase("a"):
+                pass
+        for _ in range(4):
+            with profiler.phase("b"):
+                pass
+        assert profiler.phase_calls() == {"a": 13, "b": 4}
+
+    def test_pop_without_push_raises(self):
+        profiler, _, _ = manual_profiler()
+        with pytest.raises(RuntimeError):
+            profiler.pop()
+
+    def test_open_spans_tracks_balance(self):
+        profiler, _, _ = manual_profiler()
+        assert profiler.open_spans == 0
+        profiler.push("x")
+        profiler.push("y")
+        assert profiler.open_spans == 2
+        profiler.pop()
+        profiler.pop()
+        assert profiler.open_spans == 0
+
+
+class TestDisabledPath:
+    def test_muted_profiler_records_nothing(self):
+        profiler = PhaseProfiler(enabled=False)
+        with profiler.phase("work"):
+            pass
+        profiler.push("raw")
+        profiler.pop()  # must not raise despite no matching frame
+        assert profiler.stats() == {}
+        assert profiler.phase_calls() == {}
+
+    def test_decorator_calls_through_without_active_profiler(self):
+        calls = []
+
+        @profiled("unit.fn")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert profmod.ACTIVE is None
+        assert fn(21) == 42
+        assert calls == [21]
+
+    def test_decorator_records_under_active_profiler(self):
+        @profiled("unit.fn")
+        def fn():
+            return "ok"
+
+        profiler = PhaseProfiler()
+        with activated(profiler):
+            fn()
+            fn()
+        assert profiler.phase_calls() == {"unit.fn": 2}
+
+    def test_decorator_pops_on_exception(self):
+        @profiled("unit.boom")
+        def boom():
+            raise ValueError("boom")
+
+        profiler = PhaseProfiler()
+        with activated(profiler):
+            with pytest.raises(ValueError):
+                boom()
+            assert profiler.open_spans == 0
+        assert profiler.phase_calls() == {"unit.boom": 1}
+
+
+class TestActivation:
+    def test_install_uninstall_round_trip(self):
+        profiler = PhaseProfiler()
+        install(profiler)
+        try:
+            assert profmod.ACTIVE is profiler
+        finally:
+            assert uninstall() is profiler
+        assert profmod.ACTIVE is None
+
+    def test_double_install_raises(self):
+        first = PhaseProfiler()
+        install(first)
+        try:
+            with pytest.raises(RuntimeError):
+                install(PhaseProfiler())
+            assert profmod.ACTIVE is first
+        finally:
+            uninstall()
+
+    def test_activated_uninstalls_on_exception(self):
+        with pytest.raises(ValueError):
+            with activated(PhaseProfiler()):
+                raise ValueError("boom")
+        assert profmod.ACTIVE is None
+
+
+class TestExport:
+    def test_as_dict_is_sorted_and_versioned(self):
+        profiler, wall, _ = manual_profiler()
+        with profiler.phase("zeta"):
+            wall.now += 1.0
+        with profiler.phase("alpha"):
+            wall.now += 2.0
+        doc = profiler.as_dict()
+        assert doc["schema_version"] == PROFILE_SCHEMA_VERSION
+        assert [p["name"] for p in doc["phases"]] == ["alpha", "zeta"]
+        assert doc["phases"][0] == {
+            "name": "alpha",
+            "calls": 1,
+            "wall_s": 2.0,
+            "cpu_s": 0.0,
+            "self_wall_s": 2.0,
+        }
+        assert "top_functions" not in doc  # no cProfile capture configured
+
+    def test_report_orders_hottest_first(self):
+        profiler, wall, _ = manual_profiler()
+        with profiler.phase("cool"):
+            wall.now += 1.0
+        with profiler.phase("hot"):
+            wall.now += 9.0
+        report = profiler.report()
+        assert report.index("hot") < report.index("cool")
+
+    def test_empty_report(self):
+        profiler, _, _ = manual_profiler()
+        assert "no phases" in profiler.report()
+
+    def test_cprofile_top_captures_functions(self):
+        profiler = PhaseProfiler(cprofile_top=5)
+        with activated(profiler):  # install() starts the capture
+            with profiler.phase("work"):
+                sorted(range(1000), key=lambda x: -x)
+        top = profiler.top_functions()
+        assert 0 < len(top) <= 5
+        assert all({"function", "calls", "tottime_s", "cumtime_s"} <= set(row) for row in top)
+        assert "top_functions" in profiler.as_dict()
+
+    def test_negative_cprofile_top_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler(cprofile_top=-1)

@@ -170,8 +170,19 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             hist.percentile(101)
 
-    def test_empty_histogram_raises(self):
+    def test_empty_histogram_returns_none(self):
         hist = Histogram()
+        assert hist.mean is None
+        assert hist.minimum is None
+        assert hist.maximum is None
+        assert hist.percentile(50) is None
         with pytest.raises(ValueError):
-            _ = hist.mean
+            hist.percentile(101)
         assert hist.summary() == "n=0"
+
+    def test_single_sample_histogram(self):
+        hist = Histogram()
+        hist.observe(7.0)
+        for p in (0, 50, 99, 100):
+            assert hist.percentile(p) == 7.0
+        assert hist.minimum == 7.0 == hist.maximum == hist.mean
