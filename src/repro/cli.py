@@ -18,7 +18,14 @@ without writing any code:
 * ``bench`` -- run the declared benchmark scenario matrix with the
   hot-path phase profiler attached, write a versioned
   ``BENCH_<label>.json`` artifact, and (with ``--compare``) diff it
-  against a baseline artifact as a regression gate.
+  against a baseline artifact as a regression gate;
+* ``serve`` -- run the star notifier as a real process behind a TCP
+  accept loop (wall-clock scheduler, length-prefixed wire frames);
+* ``client`` -- run one star client process that dials a notifier and
+  replays its slice of the seeded workload over the socket;
+* ``cluster`` -- launch a notifier + N client subprocesses on
+  localhost, gather their per-process trace artifacts, and run the
+  convergence + causality cross-checks on the merged trace.
 """
 
 from __future__ import annotations
@@ -398,6 +405,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.cluster.harness import config_from_args
+    from repro.cluster.serve import serve
+
+    ok = asyncio.run(serve(config_from_args(args), Path(args.out)))
+    return 0 if ok else 1
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.cluster.client import run_client
+    from repro.cluster.harness import config_from_args
+
+    ok = asyncio.run(
+        run_client(config_from_args(args), args.site, args.port, Path(args.out))
+    )
+    return 0 if ok else 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.cluster.driver import ClusterError
+
+    try:
+        config = ClusterConfig(
+            clients=args.clients,
+            ops_per_client=3 if args.quick else args.ops,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            reliability=args.reliability,
+            settle_s=args.settle,
+            timeout_s=min(args.timeout, 20.0) if args.quick else args.timeout,
+        )
+    except ValueError as exc:
+        print(f"invalid cluster config: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    try:
+        report = run_cluster(config, out_dir)
+    except ClusterError as exc:
+        print(f"cluster harness failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -597,6 +657,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="also gate wall-clock throughput (machine-dependent; off by default)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    from repro.cluster.harness import add_common_args
+
+    p_serve = sub.add_parser(
+        "serve", help="run the star notifier as a TCP server process"
+    )
+    add_common_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="run one star client process against a notifier"
+    )
+    add_common_args(p_client)
+    p_client.add_argument("--site", type=int, required=True)
+    p_client.add_argument("--port", type=int, required=True)
+    p_client.set_defaults(func=cmd_client)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="launch a notifier + N client subprocesses on localhost and "
+        "verify convergence + causality over the merged trace",
+    )
+    p_cluster.add_argument("--clients", type=int, default=3)
+    p_cluster.add_argument("--ops", type=int, default=5)
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--time-scale", type=float, default=0.05)
+    p_cluster.add_argument("--settle", type=float, default=0.3)
+    p_cluster.add_argument("--timeout", type=float, default=30.0)
+    p_cluster.add_argument("--reliability", action="store_true")
+    p_cluster.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: 3 ops per client, tight timeout",
+    )
+    p_cluster.add_argument(
+        "--out",
+        default=None,
+        help="artifact directory (default: a kept temporary directory)",
+    )
+    p_cluster.set_defaults(func=cmd_cluster)
     return parser
 
 

@@ -1,0 +1,127 @@
+"""One collaborating client process: a real user at a real socket.
+
+``python -m repro client --site I --port P --out DIR`` dials the
+notifier, introduces itself with a HELLO frame, and replays site ``I``'s
+slice of the seeded workload -- the *same*
+:func:`~repro.workloads.random_session.generate_random_edits` schedule
+the simulator benchmarks use, with think times mapped onto wall seconds
+by ``time_scale``.  Each edit is drawn at fire time against the live
+replica (exactly like the simulated driver), so edits stay valid no
+matter how broadcasts interleave.
+
+The editor object is the stock
+:class:`~repro.editor.star_client.StarClient` on the wall-clock
+scheduler; edits fire from scheduler timers, remote operations arrive
+through the frame pump.  The client is done when it has executed every
+expected operation (its own plus every transformed broadcast); it then
+settles briefly so trailing acknowledgements flush and hangs up -- the
+EOF is its completion signal to the notifier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.harness import (
+    ClusterConfig,
+    add_common_args,
+    config_from_args,
+    endpoint_result,
+    wall_clock_tracer,
+    write_artifacts,
+)
+from repro.editor.star_client import StarClient
+from repro.net.scheduler import AsyncioScheduler
+from repro.net.transport import Envelope
+from repro.net.wire import WireChannel, WireError, encode_hello, frame, pump
+from repro.workloads.random_session import generate_random_edits, random_positional_op
+
+
+async def run_client(config: ClusterConfig, site: int, port: int,
+                     out_dir: Path) -> bool:
+    """Run one client process; returns True iff the run completed."""
+    if not 1 <= site <= config.clients:
+        raise ValueError(f"site must be 1..{config.clients}, got {site}")
+    sched = AsyncioScheduler()
+    tracer = wall_clock_tracer()
+    client = StarClient(
+        sched,
+        site,
+        initial_state=config.initial_document,
+        record_checks=True,
+        reliability=config.reliability_config(),
+        tracer=tracer,
+    )
+    reader, writer = await asyncio.open_connection(config.host, port)
+    writer.write(frame(encode_hello(site)))
+    await writer.drain()
+    client.attach_channel(0, WireChannel(sched, site, 0, writer))
+
+    session_config = config.session_config()
+    intents = [i for i in generate_random_edits(session_config) if i.site == site]
+    done = asyncio.Event()
+    remaining = len(intents)
+
+    def maybe_done() -> None:
+        if remaining == 0 and len(client.executed_op_ids) >= config.total_ops:
+            done.set()
+
+    def fire(seed: int) -> None:
+        nonlocal remaining
+        rng = random.Random(seed)
+        client.generate(random_positional_op(rng, client.document,
+                                             session_config))
+        remaining -= 1
+        maybe_done()
+
+    for intent in intents:
+        sched.schedule(intent.time * config.time_scale,
+                       lambda seed=intent.seed: fire(seed))
+
+    def on_envelope(envelope: Envelope) -> None:
+        client.on_message(envelope)
+        maybe_done()
+
+    pump_task = asyncio.ensure_future(pump(reader, on_envelope))
+    timed_out = False
+    try:
+        await asyncio.wait_for(done.wait(), config.timeout_s)
+        await asyncio.sleep(config.settle_s)
+    except asyncio.TimeoutError:
+        timed_out = True
+    pump_task.cancel()
+    try:
+        await pump_task
+    except (asyncio.CancelledError, WireError, ConnectionError):
+        pass
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    channel = client.out_channels[0]
+    write_artifacts(
+        out_dir,
+        endpoint_result("client", client, timed_out=timed_out,
+                        messages_sent=channel.stats.messages,
+                        wire_bytes=channel.stats.total_bytes),
+        tracer,
+    )
+    return not timed_out
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro client", description="run one star client over TCP"
+    )
+    add_common_args(parser)
+    parser.add_argument("--site", type=int, required=True)
+    parser.add_argument("--port", type=int, required=True)
+    args = parser.parse_args(argv)
+    config = config_from_args(args)
+    ok = asyncio.run(run_client(config, args.site, args.port, Path(args.out)))
+    return 0 if ok else 1

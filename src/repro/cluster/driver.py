@@ -1,0 +1,155 @@
+"""The cluster driver: spawn, wait, gather, verify.
+
+``python -m repro cluster --clients 3`` launches one notifier
+subprocess and N client subprocesses (plain ``sys.executable -m repro
+serve/client`` invocations, so the cluster exercises exactly what a
+user would run by hand), waits for them to converge, then merges the
+per-process artifacts and renders the verdicts of
+:func:`repro.cluster.check.analyze_cluster`.
+
+Flake resistance, because this runs as a CI gate: the notifier binds
+port 0 (the kernel allocates, so concurrent runs never collide) and the
+driver retries the spawn a few times if the notifier dies before
+announcing its port (covering transient bind races on pathological
+hosts); every subprocess carries its own hard timeout and writes
+``timed_out`` artifacts instead of hanging; and the driver holds a
+final kill-switch deadline above all of them.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from pathlib import Path
+from typing import IO, Optional
+
+import repro
+from repro.cluster.check import ClusterReport, analyze_cluster
+from repro.cluster.harness import ClusterConfig, read_artifacts
+
+SPAWN_RETRIES = 3
+PORT_ANNOUNCE_TIMEOUT_S = 15.0
+
+
+class ClusterError(RuntimeError):
+    """The harness itself failed (spawn, port announcement, artifacts)."""
+
+
+def _subprocess_env() -> dict[str, str]:
+    """The child environment, with this repro importable on PYTHONPATH."""
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+def _read_port(stdout: IO[str], deadline_s: float) -> Optional[int]:
+    """Parse the notifier's ``LISTENING <port>`` line, bounded in time."""
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(stdout.readline)
+        try:
+            line = future.result(timeout=deadline_s)
+        except FutureTimeout:
+            return None
+    parts = line.split()
+    if len(parts) == 2 and parts[0] == "LISTENING" and parts[1].isdigit():
+        return int(parts[1])
+    return None
+
+
+def _spawn_notifier(
+    config: ClusterConfig, out_dir: Path
+) -> tuple[subprocess.Popen[str], int]:
+    """Start the serve subprocess; returns it with its announced port."""
+    last_failure = "never announced a port"
+    for _attempt in range(SPAWN_RETRIES):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             *config.to_args(), "--out", str(out_dir)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=_subprocess_env(),
+        )
+        assert proc.stdout is not None
+        port = _read_port(proc.stdout, PORT_ANNOUNCE_TIMEOUT_S)
+        if port is not None:
+            return proc, port
+        # Bind race or early crash: reap and retry with a fresh socket.
+        proc.kill()
+        proc.wait()
+        last_failure = f"exited with code {proc.returncode}"
+    raise ClusterError(
+        f"notifier failed to announce a port after {SPAWN_RETRIES} attempts "
+        f"({last_failure})"
+    )
+
+
+def run_cluster(
+    config: ClusterConfig,
+    out_dir: Optional[Path] = None,
+) -> ClusterReport:
+    """Run one full cluster session; returns the merged verdicts.
+
+    Artifacts land in ``out_dir`` (a temporary directory when ``None``,
+    kept afterwards so a failing CI run leaves evidence behind).
+    """
+    if out_dir is None:
+        out_dir = Path(tempfile.mkdtemp(prefix="repro_cluster_"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    started = time.monotonic()
+    notifier_proc, port = _spawn_notifier(config, out_dir)
+    client_procs: list[subprocess.Popen[str]] = []
+    try:
+        for site in range(1, config.clients + 1):
+            client_procs.append(
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro", "client",
+                     *config.to_args(), "--out", str(out_dir),
+                     "--site", str(site), "--port", str(port)],
+                    env=_subprocess_env(),
+                )
+            )
+        # Every subprocess self-limits with --timeout; the driver's own
+        # deadline sits above them as the kill-switch of last resort.
+        deadline = started + config.timeout_s + 15.0
+        for proc in [notifier_proc, *client_procs]:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    finally:
+        for proc in [notifier_proc, *client_procs]:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    wall_s = time.monotonic() - started
+
+    results = []
+    streams = []
+    for site in range(config.clients + 1):
+        try:
+            result, events = read_artifacts(out_dir, site)
+        except (OSError, ValueError) as exc:
+            raise ClusterError(
+                f"process for site {site} left no readable artifacts in "
+                f"{out_dir}: {exc}"
+            ) from exc
+        results.append(result)
+        streams.append(events)
+    return analyze_cluster(
+        results,
+        streams,
+        expected_ops=config.total_ops,
+        n_sites=config.clients,
+        wall_s=wall_s,
+    )

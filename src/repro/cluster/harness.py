@@ -1,0 +1,213 @@
+"""Shared plumbing of the cluster processes: config, workload, results.
+
+The driver, the notifier process and every client process must agree on
+the workload (so the cluster replays the same seeded edit schedule the
+simulator benchmarks use) and on the artifact format (so the driver can
+merge what the processes wrote).  This module is that contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.editor.star_client import StarClient
+from repro.editor.star_notifier import StarNotifier
+from repro.net.reliability import ReliabilityConfig
+from repro.obs.tracer import TraceEvent, Tracer, read_jsonl, write_jsonl
+from repro.session.base import CheckRecord
+from repro.workloads.random_session import RandomSessionConfig
+
+DEFAULT_DOCUMENT = "The quick brown fox jumps over the lazy dog."
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One cluster run: the workload and the wall-clock envelope.
+
+    ``time_scale`` maps the workload's virtual think-time units onto
+    wall seconds (the simulator schedules think times of ~0.4 units;
+    at the default scale a quick run finishes in a couple of seconds of
+    wall time).  ``settle_s`` is drained after the last expected
+    execution so in-flight acknowledgements and trace writes land
+    before the sockets close.  ``timeout_s`` is each process's hard
+    bound: on expiry it writes its artifacts with ``timed_out`` set
+    rather than hanging the harness.
+    """
+
+    clients: int = 3
+    ops_per_client: int = 5
+    seed: int = 0
+    initial_document: str = DEFAULT_DOCUMENT
+    time_scale: float = 0.05
+    reliability: bool = False
+    host: str = "127.0.0.1"
+    settle_s: float = 0.3
+    timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"need at least one client, got {self.clients}")
+        if self.ops_per_client < 1:
+            raise ValueError(f"need at least one op per client: {self.ops_per_client}")
+        if self.time_scale <= 0 or self.timeout_s <= 0 or self.settle_s < 0:
+            raise ValueError(f"malformed cluster timing: {self}")
+
+    @property
+    def total_ops(self) -> int:
+        """Operations every replica eventually executes."""
+        return self.clients * self.ops_per_client
+
+    def session_config(self) -> RandomSessionConfig:
+        """The seeded workload, identical to the simulator benchmarks'."""
+        return RandomSessionConfig(
+            n_sites=self.clients,
+            ops_per_site=self.ops_per_client,
+            seed=self.seed,
+            initial_document=self.initial_document,
+        )
+
+    def reliability_config(self) -> Optional[ReliabilityConfig]:
+        """The transport config every process must share (or ``None``)."""
+        return ReliabilityConfig() if self.reliability else None
+
+    def to_args(self) -> list[str]:
+        """The CLI flags that reproduce this config in a subprocess."""
+        args = [
+            "--clients", str(self.clients),
+            "--ops", str(self.ops_per_client),
+            "--seed", str(self.seed),
+            "--time-scale", str(self.time_scale),
+            "--host", self.host,
+            "--settle", str(self.settle_s),
+            "--timeout", str(self.timeout_s),
+        ]
+        if self.reliability:
+            args.append("--reliability")
+        return args
+
+
+def wall_clock_tracer() -> Tracer:
+    """A tracer stamping Unix time, comparable across same-host processes.
+
+    Cluster processes share the machine clock, so absolute ``time.time``
+    stamps give the driver a common axis to merge per-process traces on
+    (the merge additionally repairs any causality-violating skew; see
+    :func:`repro.cluster.check.merge_traces`).
+    """
+    import time
+
+    tracer = Tracer(enabled=True)
+    tracer.bind_clock(time.time)
+    return tracer
+
+
+# -- per-process artifacts -----------------------------------------------------
+
+
+@dataclass
+class ProcessResult:
+    """What one cluster process reports back to the driver."""
+
+    role: str  # "notifier" or "client"
+    site: int
+    document: str
+    executed_ops: int
+    checks: list[CheckRecord] = field(default_factory=list)
+    timed_out: bool = False
+    lost_local_edits: int = 0
+    retransmits: int = 0
+    messages_sent: int = 0
+    wire_bytes: int = 0
+
+    def to_json(self) -> str:
+        data = dataclasses.asdict(self)
+        return json.dumps(data, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProcessResult":
+        data = json.loads(text)
+        checks = [CheckRecord(**record) for record in data.pop("checks", [])]
+        return cls(checks=checks, **data)
+
+
+def result_path(out_dir: Path, site: int) -> Path:
+    return out_dir / f"site_{site}.json"
+
+
+def trace_path(out_dir: Path, site: int) -> Path:
+    return out_dir / f"trace_{site}.jsonl"
+
+
+def endpoint_result(
+    role: str,
+    endpoint: "StarNotifier | StarClient",
+    *,
+    timed_out: bool,
+    messages_sent: int,
+    wire_bytes: int,
+) -> ProcessResult:
+    """Snapshot one endpoint's verdict-relevant state for the driver."""
+    return ProcessResult(
+        role=role,
+        site=endpoint.pid,
+        document=str(endpoint.document),
+        executed_ops=len(endpoint.executed_op_ids),
+        checks=list(endpoint.checks),
+        timed_out=timed_out,
+        lost_local_edits=endpoint.rel_stats.lost_local_edits,
+        retransmits=endpoint.rel_stats.retransmits,
+        messages_sent=messages_sent,
+        wire_bytes=wire_bytes,
+    )
+
+
+def write_artifacts(out_dir: Path, result: ProcessResult, tracer: Tracer) -> None:
+    """Write the process's result JSON and trace JSONL atomically enough.
+
+    Artifacts are written once, at the end of the run, so a crash mid-run
+    leaves *no* file rather than a torn one -- the driver treats a
+    missing artifact as a failed process.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with trace_path(out_dir, result.site).open("w") as fh:
+        write_jsonl(tracer.events, fh, header={"site": result.site,
+                                               "role": result.role})
+    result_path(out_dir, result.site).write_text(result.to_json() + "\n")
+
+
+def read_artifacts(out_dir: Path, site: int) -> tuple[ProcessResult, list[TraceEvent]]:
+    """Load one process's artifacts (raises if the process never wrote)."""
+    result = ProcessResult.from_json(result_path(out_dir, site).read_text())
+    with trace_path(out_dir, site).open() as fh:
+        _header, events = read_jsonl(fh)
+    return result, events
+
+
+def add_common_args(parser: Any) -> None:
+    """Attach the shared cluster flags to an argparse parser."""
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--ops", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--time-scale", type=float, default=0.05)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--settle", type=float, default=0.3)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--reliability", action="store_true")
+    parser.add_argument("--out", required=True, help="artifact directory")
+
+
+def config_from_args(args: Any) -> ClusterConfig:
+    return ClusterConfig(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        reliability=args.reliability,
+        host=args.host,
+        settle_s=args.settle,
+        timeout_s=args.timeout,
+    )

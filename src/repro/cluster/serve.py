@@ -1,0 +1,121 @@
+"""The notifier process: site 0 of the star, behind a TCP accept loop.
+
+``python -m repro serve --clients N --out DIR`` binds an ephemeral port
+(port 0 -- the kernel picks, so parallel CI runs cannot collide),
+prints ``LISTENING <port>`` on stdout for the driver to parse, and
+serves the paper's notifier role to ``N`` dialing clients.  The editor
+object is the stock :class:`~repro.editor.star_notifier.StarNotifier`;
+the only cluster-specific code is the socket plumbing around it.
+
+Termination: the run is complete when the notifier has executed every
+expected operation *and* every client has disconnected (each client
+hangs up only after converging, so EOF doubles as the client's
+completion signal).  A hard timeout bounds the wait; on expiry the
+artifacts are written with ``timed_out`` set so the driver fails the
+run instead of diagnosing a hang.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.harness import (
+    ClusterConfig,
+    add_common_args,
+    config_from_args,
+    endpoint_result,
+    wall_clock_tracer,
+    write_artifacts,
+)
+from repro.editor.star_notifier import StarNotifier
+from repro.net.scheduler import AsyncioScheduler
+from repro.net.transport import Envelope
+from repro.net.wire import WireChannel, WireError, decode_frame, pump, read_frame
+
+
+async def serve(config: ClusterConfig, out_dir: Path,
+                *, on_port: Optional["asyncio.Future[int]"] = None) -> bool:
+    """Run the notifier process; returns True iff the run completed."""
+    sched = AsyncioScheduler()
+    tracer = wall_clock_tracer()
+    notifier = StarNotifier(
+        sched,
+        config.clients,
+        initial_state=config.initial_document,
+        record_checks=True,
+        reliability=config.reliability_config(),
+        tracer=tracer,
+    )
+    done = asyncio.Event()
+    all_connected = asyncio.Event()
+    disconnected: set[int] = set()
+
+    def maybe_done() -> None:
+        complete = len(notifier.executed_op_ids) >= config.total_ops
+        if complete and len(disconnected) >= config.clients:
+            done.set()
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        hello = await read_frame(reader)
+        if hello is None:
+            writer.close()
+            return
+        pid = decode_frame(hello)
+        if isinstance(pid, Envelope):
+            raise WireError("expected a HELLO frame to open the connection")
+        notifier.attach_channel(pid, WireChannel(sched, 0, pid, writer))
+        if len(notifier.out_channels) >= config.clients:
+            all_connected.set()
+        # Hold this connection's pump until every client has a channel:
+        # executing an early op would broadcast into a not-yet-attached
+        # spoke.  TCP buffers whatever the eager client already sent.
+        await all_connected.wait()
+
+        def on_envelope(envelope: Envelope) -> None:
+            notifier.on_message(envelope)
+            maybe_done()
+
+        try:
+            await pump(reader, on_envelope)
+        except (WireError, ConnectionError):
+            pass  # a killed client counts as disconnected, not as a crash here
+        finally:
+            disconnected.add(pid)
+            maybe_done()
+
+    server = await asyncio.start_server(handle, config.host, 0)
+    port = server.sockets[0].getsockname()[1]
+    if on_port is not None:
+        on_port.set_result(port)
+    print(f"LISTENING {port}", flush=True)
+    timed_out = False
+    try:
+        await asyncio.wait_for(done.wait(), config.timeout_s)
+    except asyncio.TimeoutError:
+        timed_out = True
+    server.close()
+    await server.wait_closed()
+    messages = sum(ch.stats.messages for ch in notifier.out_channels.values())
+    wire_bytes = sum(ch.stats.total_bytes for ch in notifier.out_channels.values())
+    write_artifacts(
+        out_dir,
+        endpoint_result("notifier", notifier, timed_out=timed_out,
+                        messages_sent=messages, wire_bytes=wire_bytes),
+        tracer,
+    )
+    return not timed_out
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description="run the star notifier over TCP"
+    )
+    add_common_args(parser)
+    args = parser.parse_args(argv)
+    config = config_from_args(args)
+    ok = asyncio.run(serve(config, Path(args.out)))
+    return 0 if ok else 1

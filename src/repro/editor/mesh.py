@@ -34,6 +34,7 @@ from typing import Callable, Sequence
 
 from repro.clocks.vector import Ordering, VectorClock, compare
 from repro.net.channel import LatencyModel
+from repro.net.scheduler import Scheduler
 from repro.net.simulator import Simulator
 from repro.net.topology import MeshTopology
 from repro.net.transport import Envelope
@@ -153,7 +154,7 @@ class MeshSite(EditorEndpoint):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         pid: int,
         n_sites: int,
         initial_document: str = "",

@@ -30,7 +30,7 @@ from repro.editor.messages import (
     StateContribution,
 )
 from repro.net.reliability import ReliabilityConfig, ReliableEndpoint
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 from repro.obs.tracer import TraceEventKind, Tracer
 from repro.ot.types import get_type
@@ -66,7 +66,7 @@ class StarClient(EditorEndpoint):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         site_id: int,
         ot_type_name: str = "text-positional",
         initial_state: Any = None,

@@ -32,7 +32,7 @@ from repro.editor.messages import (
 )
 from repro.editor.star_client import execute_remote
 from repro.net.reliability import ReliabilityConfig
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 from repro.obs.profiler import profiled
 from repro.obs.tracer import TraceEventKind, Tracer
@@ -65,7 +65,7 @@ class StarNotifier(EditorEndpoint):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         n_sites: int,
         ot_type_name: str = "text-positional",
         initial_state: Any = None,

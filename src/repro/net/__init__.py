@@ -22,7 +22,8 @@ shared :class:`~repro.net.holdback.HoldbackQueue` is its reorder buffer
 and the mesh editor's causal-delivery buffer alike.
 """
 
-from repro.net.simulator import Simulator
+from repro.net.scheduler import AsyncioScheduler, Scheduler, SchedulingError
+from repro.net.simulator import SimulationError, Simulator
 from repro.net.channel import (
     FIFOChannel,
     FixedLatency,
@@ -37,7 +38,9 @@ from repro.net.reliability import (
     ReliabilityStats,
     ReliablePacket,
     ReliableEndpoint,
+    RetransmitPolicy,
     Transport,
+    TransportError,
     build_transport,
 )
 from repro.net.transport import Envelope, measure_payload_bytes
@@ -46,6 +49,10 @@ from repro.net.process import SimProcess
 
 __all__ = [
     "Simulator",
+    "SimulationError",
+    "Scheduler",
+    "SchedulingError",
+    "AsyncioScheduler",
     "FIFOChannel",
     "LatencyModel",
     "FixedLatency",
@@ -62,6 +69,8 @@ __all__ = [
     "ReliabilityStats",
     "ReliablePacket",
     "ReliableEndpoint",
+    "RetransmitPolicy",
     "Transport",
+    "TransportError",
     "build_transport",
 ]

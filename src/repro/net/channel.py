@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 
 
@@ -94,7 +94,7 @@ class FIFOChannel:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         source: int,
         dest: int,
         latency: LatencyModel,

@@ -64,6 +64,11 @@ class Writer:
         self._chunks.append(data)
         return self
 
+    def raw(self, data: bytes) -> "Writer":
+        """Append pre-encoded bytes verbatim (for embedded messages)."""
+        self._chunks.append(data)
+        return self
+
     def getvalue(self) -> bytes:
         return b"".join(self._chunks)
 
@@ -97,6 +102,10 @@ class Reader:
     def string(self) -> str:
         length = self.u32()
         return self._take(length).decode("utf-8")
+
+    def raw(self, n: int) -> bytes:
+        """Take ``n`` bytes verbatim (for embedded messages)."""
+        return self._take(n)
 
     def done(self) -> bool:
         return self._pos == len(self._data)

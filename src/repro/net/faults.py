@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.net.channel import FIFOChannel, LatencyModel
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 
 
@@ -136,7 +136,7 @@ class FaultPlan:
 
     def channel_factory(
         self,
-    ) -> Callable[[Simulator, int, int, LatencyModel, Callable[[Envelope], None]], FIFOChannel]:
+    ) -> Callable[[Scheduler, int, int, LatencyModel, Callable[[Envelope], None]], FIFOChannel]:
         """A factory suitable for :class:`repro.net.topology.StarTopology`."""
 
         def build(sim, source, dest, latency, on_deliver):
@@ -192,7 +192,7 @@ class FaultyChannel(FIFOChannel):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         source: int,
         dest: int,
         latency: LatencyModel,

@@ -4,18 +4,24 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 
 
 class SimProcess:
-    """A process attached to a simulator with outgoing channels.
+    """A process attached to a scheduler with outgoing channels.
 
     Subclasses implement :meth:`on_message`; topology wiring (see
-    :mod:`repro.net.topology`) installs the outgoing channel map.
+    :mod:`repro.net.topology`) installs the outgoing channel map.  The
+    ``sim`` attribute is any :class:`~repro.net.scheduler.Scheduler` --
+    the deterministic :class:`~repro.net.simulator.Simulator` in tests
+    and experiments, the wall-clock
+    :class:`~repro.net.scheduler.AsyncioScheduler` in cluster processes.
+    The attribute keeps its historical name so editor code reads the
+    same under both.
     """
 
-    def __init__(self, sim: Simulator, pid: int) -> None:
+    def __init__(self, sim: Scheduler, pid: int) -> None:
         self.sim = sim
         self.pid = pid
         self.out_channels: dict[int, Any] = {}  # dest pid -> FIFOChannel

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Protocol, Union, runtime_checkable
 
 from repro.net.holdback import HoldbackOverflow, HoldbackQueue
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 from repro.obs.profiler import profiled
 from repro.obs.tracer import Tracer, TraceEventKind
@@ -84,34 +84,78 @@ class ReliablePacket:
 
 
 @dataclass(frozen=True)
-class ReliabilityConfig:
-    """Retransmission parameters of the reliability protocol.
+class RetransmitPolicy:
+    """The retransmission tuning surface, as one frozen value.
 
-    ``max_retries`` bounds the retransmit budget per peer: after that
-    many *consecutive* retransmission rounds without acknowledgement
-    progress the endpoint declares the peer dead (``on_peer_dead``
-    fires once) and parks further traffic instead of retrying forever.
-    ``None`` restores the legacy retry-forever behaviour.  A parked
-    link resurrects automatically the moment anything arrives from the
-    peer.  ``probe_interval``/``max_probes`` shape the bounded
-    heartbeat :meth:`ReliableEndpoint.probe_peer` uses to confirm a
-    suspicion, and ``holdback_limit`` caps the reorder buffer (see
+    Both wires share this single policy object: the simulated FIFO
+    channels and the asyncio TCP transport (:mod:`repro.net.wire`) arm
+    their retransmit timers from the same four numbers, so tuning one
+    tunes both.  ``max_retries`` bounds the retransmit budget per peer:
+    after that many *consecutive* retransmission rounds without
+    acknowledgement progress the endpoint declares the peer dead
+    (``on_peer_dead`` fires once) and parks further traffic instead of
+    retrying forever; ``None`` restores the legacy retry-forever
+    behaviour.  A parked link resurrects automatically the moment
+    anything arrives from the peer.
+    """
+
+    base_rto: float = 0.5  # initial retransmit timeout (scheduler time)
+    max_rto: float = 8.0  # backoff ceiling
+    backoff: float = 2.0  # timeout multiplier per retry round
+    max_retries: Optional[int] = 12  # retransmit rounds before giving up
+
+    def __post_init__(self) -> None:
+        if self.base_rto <= 0 or self.max_rto < self.base_rto or self.backoff < 1.0:
+            raise ValueError(f"malformed retransmit policy: {self}")
+        if self.max_retries is not None and self.max_retries < 1:
+            raise ValueError(f"max_retries must be positive or None: {self}")
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Parameters of the reliability protocol.
+
+    The retransmission knobs live in :class:`RetransmitPolicy`; the
+    scalar fields here (``base_rto``/``max_rto``/``backoff``/
+    ``max_retries``) are a construction convenience kept for the many
+    existing call sites -- ``__post_init__`` folds them into
+    :attr:`retransmit`, which is the *only* view the protocol reads.
+    Passing an explicit ``retransmit`` policy wins over the scalars
+    (and is mirrored back into them so both views always agree).
+
+    ``probe_interval``/``max_probes`` shape the bounded heartbeat
+    :meth:`ReliableEndpoint.probe_peer` uses to confirm a suspicion,
+    and ``holdback_limit`` caps the reorder buffer (see
     :class:`repro.net.holdback.HoldbackOverflow`).
     """
 
-    base_rto: float = 0.5  # initial retransmit timeout (virtual time)
+    base_rto: float = 0.5  # initial retransmit timeout (scheduler time)
     max_rto: float = 8.0  # backoff ceiling
     backoff: float = 2.0  # timeout multiplier per retry round
     max_retries: Optional[int] = 12  # retransmit rounds before giving up
     probe_interval: float = 0.5  # spacing of liveness probes
     max_probes: int = 5  # unanswered probes before declaring death
     holdback_limit: Optional[int] = 1024  # reorder-buffer capacity
+    retransmit: RetransmitPolicy = RetransmitPolicy()
 
     def __post_init__(self) -> None:
-        if self.base_rto <= 0 or self.max_rto < self.base_rto or self.backoff < 1.0:
-            raise ValueError(f"malformed reliability config: {self}")
-        if self.max_retries is not None and self.max_retries < 1:
-            raise ValueError(f"max_retries must be positive or None: {self}")
+        if self.retransmit == RetransmitPolicy():
+            # Scalars are authoritative; the policy constructor validates.
+            object.__setattr__(
+                self,
+                "retransmit",
+                RetransmitPolicy(
+                    base_rto=self.base_rto,
+                    max_rto=self.max_rto,
+                    backoff=self.backoff,
+                    max_retries=self.max_retries,
+                ),
+            )
+        else:
+            object.__setattr__(self, "base_rto", self.retransmit.base_rto)
+            object.__setattr__(self, "max_rto", self.retransmit.max_rto)
+            object.__setattr__(self, "backoff", self.retransmit.backoff)
+            object.__setattr__(self, "max_retries", self.retransmit.max_retries)
         if self.probe_interval <= 0 or self.max_probes < 1:
             raise ValueError(f"malformed probe parameters: {self}")
         if self.holdback_limit is not None and self.holdback_limit < 1:
@@ -188,12 +232,42 @@ class Transport(Protocol):
     def delivered_in_order(self) -> bool: ...
 
 
-def _unwired(dest: int, payload: Any, timestamp_bytes: int, kind: str) -> None:
-    raise RuntimeError("transport has no wire_send attached")
+class TransportError(RuntimeError):
+    """A transport was used before its I/O hooks were attached.
+
+    Transports are built with ``wire_send`` (downward: raw channel
+    access) and ``deliver`` (upward: the editor's handler) callbacks.
+    Using one before both are attached is a wiring bug in the owning
+    endpoint; the error names the pid and the missing hook so the
+    miswired endpoint is identifiable from the message alone.
+    """
 
 
-def _undeliverable(envelope: Envelope) -> None:
-    raise RuntimeError("transport has no deliver callback attached")
+def _unwired_for(pid: int) -> WireSend:
+    """A ``wire_send`` placeholder that reports the miswired endpoint."""
+
+    def _unwired(dest: int, payload: Any, timestamp_bytes: int, kind: str) -> None:
+        raise TransportError(
+            f"transport of endpoint pid={pid} has no wire_send attached; "
+            f"cannot put a {kind!r} message for pid={dest} on the wire "
+            f"(construct via build_transport or assign .wire_send first)"
+        )
+
+    return _unwired
+
+
+def _undeliverable_for(pid: int) -> Deliver:
+    """A ``deliver`` placeholder that reports the miswired endpoint."""
+
+    def _undeliverable(envelope: Envelope) -> None:
+        raise TransportError(
+            f"transport of endpoint pid={pid} has no deliver callback "
+            f"attached; a {envelope.kind!r} message from pid="
+            f"{envelope.source} is undeliverable (assign .deliver before "
+            f"accepting wire traffic)"
+        )
+
+    return _undeliverable
 
 
 class RawTransport:
@@ -204,14 +278,14 @@ class RawTransport:
     all of it is trivially inert here.
     """
 
-    def __init__(self, *, wire_send: WireSend = _unwired,
-                 deliver: Deliver = _undeliverable, pid: int = -1,
+    def __init__(self, *, wire_send: Optional[WireSend] = None,
+                 deliver: Optional[Deliver] = None, pid: int = -1,
                  tracer: Optional[Tracer] = None) -> None:
         self.reliability: Optional[ReliabilityConfig] = None
         self.stats = ReliabilityStats()
         self.crashed = False
-        self.wire_send = wire_send
-        self.deliver = deliver
+        self.wire_send = wire_send if wire_send is not None else _unwired_for(pid)
+        self.deliver = deliver if deliver is not None else _undeliverable_for(pid)
         self.pid = pid
         self.tracer = tracer
 
@@ -251,20 +325,20 @@ class ReliableEndpoint:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         pid: int,
         reliability: Optional[ReliabilityConfig] = None,
         *,
-        wire_send: WireSend = _unwired,
-        deliver: Deliver = _undeliverable,
+        wire_send: Optional[WireSend] = None,
+        deliver: Optional[Deliver] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.pid = pid
         self.reliability = reliability
         self.stats = ReliabilityStats()
-        self.wire_send = wire_send
-        self.deliver = deliver
+        self.wire_send = wire_send if wire_send is not None else _unwired_for(pid)
+        self.deliver = deliver if deliver is not None else _undeliverable_for(pid)
         self.tracer = tracer
         self.crashed = False
         # Invoked (once per death) when a peer exhausts the retransmit
@@ -295,7 +369,7 @@ class ReliableEndpoint:
 
     def _link(self, peer: int) -> _PeerLink:
         if peer not in self._links:
-            rto = self.reliability.base_rto if self.reliability else 0.0
+            rto = self.reliability.retransmit.base_rto if self.reliability else 0.0
             self._links[peer] = _PeerLink(rto=rto)
         return self._links[peer]
 
@@ -345,7 +419,8 @@ class ReliableEndpoint:
         if self.crashed or self._links.get(dest) is not link or not link.unacked:
             return
         assert self.reliability is not None
-        limit = self.reliability.max_retries
+        policy = self.reliability.retransmit
+        limit = policy.max_retries
         if limit is not None and link.retries >= limit:
             self._give_up(dest, link)
             return
@@ -358,7 +433,7 @@ class ReliableEndpoint:
                                  peer=dest, epoch=link.epoch, seq=seq,
                                  op_id=_traced_op_id(payload))
             self._transmit(dest, link, seq, payload, ts_bytes, kind)
-        link.rto = min(link.rto * self.reliability.backoff, self.reliability.max_rto)
+        link.rto = min(link.rto * policy.backoff, policy.max_rto)
         self._arm_timer(dest, link)
 
     def _give_up(self, dest: int, link: _PeerLink) -> None:
@@ -374,7 +449,7 @@ class ReliableEndpoint:
         assert self.reliability is not None
         link.dead = False
         link.retries = 0
-        link.rto = self.reliability.base_rto
+        link.rto = self.reliability.retransmit.base_rto
         self._arm_timer(dest, link)
 
     # -- receiving -------------------------------------------------------------
@@ -493,7 +568,7 @@ class ReliableEndpoint:
             del link.unacked[seq]
         if acked:
             assert self.reliability is not None
-            link.rto = self.reliability.base_rto  # progress: reset backoff
+            link.rto = self.reliability.retransmit.base_rto  # progress: reset backoff
             link.retries = 0  # progress: refill the retransmit budget
             # Restart the retransmit clock: the surviving packets were all
             # sent more recently than the one just acknowledged, so the
@@ -601,7 +676,8 @@ class ReliableEndpoint:
     def reset_link(self, peer: int, epoch: int) -> _PeerLink:
         """Void the link state and start the given epoch from seq 0."""
         link = _PeerLink(
-            epoch=epoch, rto=self.reliability.base_rto if self.reliability else 0.0
+            epoch=epoch,
+            rto=self.reliability.retransmit.base_rto if self.reliability else 0.0,
         )
         old = self._links.get(peer)
         if old is not None and old.timer is not None:
@@ -640,7 +716,7 @@ AnyTransport = Union[RawTransport, ReliableEndpoint]
 
 
 def build_transport(
-    sim: Simulator,
+    sim: Scheduler,
     pid: int,
     reliability: Optional[ReliabilityConfig],
     *,

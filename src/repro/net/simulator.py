@@ -14,9 +14,16 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.net.scheduler import SchedulingError
 
-class SimulationError(RuntimeError):
-    """Raised on scheduling misuse (e.g. scheduling in the past)."""
+
+class SimulationError(SchedulingError):
+    """Raised on scheduling misuse (e.g. scheduling in the past).
+
+    Subclasses :class:`~repro.net.scheduler.SchedulingError` so callers
+    holding a generic :class:`~repro.net.scheduler.Scheduler` can catch
+    misuse without knowing which implementation is behind it.
+    """
 
 
 @dataclass(order=True)

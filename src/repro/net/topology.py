@@ -11,14 +11,14 @@ from typing import Callable, Sequence
 
 from repro.net.channel import ChannelStats, FIFOChannel, FixedLatency, LatencyModel
 from repro.net.process import SimProcess
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 
 # Builds a channel: (sim, source_pid, dest_pid, latency, on_deliver).
 # The default builds plain FIFOChannels; fault plans supply one that
 # builds FaultyChannels (see repro.net.faults.FaultPlan.channel_factory).
 ChannelFactory = Callable[
-    [Simulator, int, int, LatencyModel, Callable[[Envelope], None]], FIFOChannel
+    [Scheduler, int, int, LatencyModel, Callable[[Envelope], None]], FIFOChannel
 ]
 
 
@@ -33,7 +33,7 @@ class _BaseTopology:
 
     def _connect(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         a: SimProcess,
         b: SimProcess,
         latency_factory: Callable[[int, int], LatencyModel],
@@ -92,7 +92,7 @@ class StarTopology(_BaseTopology):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         processes: Sequence[SimProcess],
         latency_factory: Callable[[int, int], LatencyModel] | None = None,
         channel_factory: ChannelFactory | None = None,
@@ -140,7 +140,7 @@ class MeshTopology(_BaseTopology):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         processes: Sequence[SimProcess],
         latency_factory: Callable[[int, int], LatencyModel] | None = None,
         channel_factory: ChannelFactory | None = None,

@@ -1,0 +1,351 @@
+"""Real-socket wire transport: the simulated envelopes over asyncio TCP.
+
+The simulator moves :class:`~repro.net.transport.Envelope` objects
+through in-memory FIFO channels; this module moves the *same* envelopes
+through length-prefixed frames on a TCP stream, so the entire protocol
+stack above the channel -- reliability, holdback, causality, tracing --
+runs unmodified over a real wire.  TCP itself provides the FIFO
+property the paper's formulas (5) and (7) assume, exactly as in the
+original Web-deployment.
+
+Framing
+-------
+Every frame is ``u32 body-length (big-endian) + body``.  The body is a
+1-byte frame tag followed by tag-specific fields:
+
+* ``HELLO`` -- the first frame on every client connection: the sender's
+  pid, so the accepting side knows which spoke of the star just dialed
+  in.
+* ``DATA`` -- one envelope: source, dest, timestamp-byte accounting,
+  optional message id, kind string, then a tagged payload.
+
+Payloads reuse the byte-exact codec of :mod:`repro.net.codec` wherever
+one exists: an :class:`~repro.editor.messages.OpMessage` is embedded as
+the *exact* bytes of :func:`~repro.net.codec.encode_op_message`
+(length-prefixed), so the overhead accounting measured in the simulator
+is the same accounting that crosses the socket.  Reliability packets
+nest their inner payload recursively; the failover vocabulary
+(snapshot / resync / elect / promote / contribution) has its own tags
+so a cluster can exercise crash recovery over TCP.
+
+:class:`WireChannel` is the seam: it exposes the same ``send(envelope)``
+surface as :class:`~repro.net.channel.FIFOChannel` (message-id
+assignment, byte accounting, ``fifo_respected``), but writes frames to
+an :class:`asyncio.StreamWriter` instead of scheduling a simulated
+delivery.  Editor processes attach it via the ordinary
+``attach_channel`` call and never learn the difference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Optional, Union
+
+from repro.editor.messages import (
+    ElectMessage,
+    OpMessage,
+    PromoteMessage,
+    ResyncRequest,
+    SnapshotMessage,
+    StateContribution,
+)
+from repro.net.channel import ChannelStats
+from repro.net.codec import (
+    CodecError,
+    Reader,
+    Writer,
+    decode_op_message,
+    decode_operation,
+    encode_op_message,
+    encode_operation,
+)
+from repro.net.reliability import ReliablePacket
+from repro.net.scheduler import Scheduler
+from repro.net.transport import Envelope
+
+FRAME_HELLO = 0x01
+FRAME_DATA = 0x02
+
+PAYLOAD_NONE = 0x00
+PAYLOAD_OP = 0x01
+PAYLOAD_RELIABLE = 0x02
+PAYLOAD_SNAPSHOT = 0x03
+PAYLOAD_RESYNC = 0x04
+PAYLOAD_ELECT = 0x05
+PAYLOAD_PROMOTE = 0x06
+PAYLOAD_CONTRIB = 0x07
+
+# A frame larger than this is a protocol error, not a big message: the
+# workloads move edits, not bulk state.  Guards readexactly() against a
+# corrupt or hostile length prefix.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+LENGTH_PREFIX_BYTES = 4
+
+
+class WireError(CodecError):
+    """Raised on malformed frames or unencodable payloads."""
+
+
+# -- payload encoding ----------------------------------------------------------
+
+
+def _encode_payload(payload: Any, writer: Writer) -> None:
+    if payload is None:
+        writer.u8(PAYLOAD_NONE)
+    elif isinstance(payload, OpMessage):
+        # Embed the codec's exact bytes: the wire carries the same
+        # serialisation the simulator's accounting charges.
+        body = encode_op_message(payload)
+        writer.u8(PAYLOAD_OP).u32(len(body)).raw(body)
+    elif isinstance(payload, ReliablePacket):
+        writer.u8(PAYLOAD_RELIABLE)
+        writer.u32(payload.seq + 1)  # seq/ack are >= -1: store offset by one
+        writer.u32(payload.epoch)
+        writer.u32(payload.ack + 1)
+        writer.u8(1 if payload.probe else 0)
+        _encode_payload(payload.payload, writer)
+    elif isinstance(payload, SnapshotMessage):
+        if not isinstance(payload.document, str):
+            raise WireError(
+                f"only text documents cross the wire, got "
+                f"{type(payload.document).__name__}"
+            )
+        if payload.origin_clock is not None:
+            # The oracle clock is in-process diagnostic state; cluster
+            # processes have no shared event log to interpret it in.
+            raise WireError("origin_clock does not cross the wire")
+        writer.u8(PAYLOAD_SNAPSHOT)
+        writer.string(payload.document)
+        writer.u32(payload.base_count)
+        writer.u32(payload.own_count)
+        writer.u32(payload.notifier_epoch)
+        writer.u32(len(payload.incorporated))
+        for op_id in sorted(payload.incorporated):
+            writer.string(op_id)
+    elif isinstance(payload, ResyncRequest):
+        writer.u8(PAYLOAD_RESYNC).u32(payload.epoch)
+    elif isinstance(payload, ElectMessage):
+        writer.u8(PAYLOAD_ELECT).u32(payload.notifier_epoch)
+    elif isinstance(payload, PromoteMessage):
+        writer.u8(PAYLOAD_PROMOTE).u32(payload.successor).u32(payload.notifier_epoch)
+    elif isinstance(payload, StateContribution):
+        writer.u8(PAYLOAD_CONTRIB)
+        writer.u32(payload.site)
+        writer.u32(payload.received_from_center)
+        writer.u32(payload.generated_locally)
+        writer.u32(len(payload.received_per_origin))
+        for origin in sorted(payload.received_per_origin):
+            writer.u32(origin).u32(payload.received_per_origin[origin])
+        writer.u32(len(payload.pending))
+        for op_id, op in payload.pending:
+            writer.string(op_id)
+            encode_operation(op, writer)
+        if payload.document is None:
+            writer.u8(0)
+        elif isinstance(payload.document, str):
+            writer.u8(1).string(payload.document)
+        else:
+            raise WireError(
+                f"only text documents cross the wire, got "
+                f"{type(payload.document).__name__}"
+            )
+    else:
+        raise WireError(f"cannot encode payload type {type(payload).__name__}")
+
+
+def _decode_payload(reader: Reader) -> Any:
+    tag = reader.u8()
+    if tag == PAYLOAD_NONE:
+        return None
+    if tag == PAYLOAD_OP:
+        length = reader.u32()
+        return decode_op_message(reader.raw(length))
+    if tag == PAYLOAD_RELIABLE:
+        seq = reader.u32() - 1
+        epoch = reader.u32()
+        ack = reader.u32() - 1
+        probe = reader.u8() == 1
+        payload = _decode_payload(reader)
+        return ReliablePacket(seq=seq, epoch=epoch, ack=ack,
+                              payload=payload, probe=probe)
+    if tag == PAYLOAD_SNAPSHOT:
+        document = reader.string()
+        base_count = reader.u32()
+        own_count = reader.u32()
+        notifier_epoch = reader.u32()
+        incorporated = frozenset(reader.string() for _ in range(reader.u32()))
+        return SnapshotMessage(document=document, base_count=base_count,
+                               own_count=own_count,
+                               notifier_epoch=notifier_epoch,
+                               incorporated=incorporated)
+    if tag == PAYLOAD_RESYNC:
+        return ResyncRequest(epoch=reader.u32())
+    if tag == PAYLOAD_ELECT:
+        return ElectMessage(notifier_epoch=reader.u32())
+    if tag == PAYLOAD_PROMOTE:
+        successor = reader.u32()
+        return PromoteMessage(successor=successor, notifier_epoch=reader.u32())
+    if tag == PAYLOAD_CONTRIB:
+        site = reader.u32()
+        received_from_center = reader.u32()
+        generated_locally = reader.u32()
+        received_per_origin = {}
+        for _ in range(reader.u32()):
+            origin = reader.u32()
+            received_per_origin[origin] = reader.u32()
+        pending = tuple(
+            (reader.string(), decode_operation(reader))
+            for _ in range(reader.u32())
+        )
+        document = reader.string() if reader.u8() == 1 else None
+        return StateContribution(site=site,
+                                 received_from_center=received_from_center,
+                                 generated_locally=generated_locally,
+                                 received_per_origin=received_per_origin,
+                                 pending=pending, document=document)
+    raise WireError(f"unknown payload tag 0x{tag:02x}")
+
+
+# -- frame encoding ------------------------------------------------------------
+
+
+def encode_hello(pid: int) -> bytes:
+    """The connection-opening frame body: who is dialing in."""
+    return Writer().u8(FRAME_HELLO).u32(pid).getvalue()
+
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    """One envelope as a DATA frame body (no length prefix)."""
+    writer = Writer()
+    writer.u8(FRAME_DATA)
+    writer.u32(envelope.source)
+    writer.u32(envelope.dest)
+    writer.u32(envelope.timestamp_bytes)
+    mid = envelope.message_id
+    writer.u32(0 if mid is None else mid + 1)
+    writer.string(envelope.kind)
+    _encode_payload(envelope.payload, writer)
+    return writer.getvalue()
+
+
+def decode_frame(body: bytes) -> Union[int, Envelope]:
+    """Decode a frame body: a HELLO yields the pid, a DATA an Envelope."""
+    reader = Reader(body)
+    tag = reader.u8()
+    if tag == FRAME_HELLO:
+        pid = reader.u32()
+        reader.expect_done()
+        return pid
+    if tag != FRAME_DATA:
+        raise WireError(f"unknown frame tag 0x{tag:02x}")
+    source = reader.u32()
+    dest = reader.u32()
+    timestamp_bytes = reader.u32()
+    raw_mid = reader.u32()
+    kind = reader.string()
+    payload = _decode_payload(reader)
+    reader.expect_done()
+    return Envelope(source=source, dest=dest, payload=payload,
+                    timestamp_bytes=timestamp_bytes, kind=kind,
+                    message_id=None if raw_mid == 0 else raw_mid - 1)
+
+
+def frame(body: bytes) -> bytes:
+    """Prefix a frame body with its u32 length."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return Writer().u32(len(body)).getvalue() + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one length-prefixed frame body; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(LENGTH_PREFIX_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # EOF on a frame boundary: the peer closed cleanly
+        raise WireError(
+            f"connection closed mid-prefix ({len(exc.partial)} of "
+            f"{LENGTH_PREFIX_BYTES} bytes)"
+        ) from exc
+    length = Reader(prefix).u32()
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} bytes)"
+        ) from exc
+
+
+# -- the channel seam ----------------------------------------------------------
+
+
+class WireChannel:
+    """A unidirectional TCP-backed channel with the FIFOChannel surface.
+
+    Owns the *sending* half only: deliveries on the reverse path are the
+    peer process's :func:`pump` over its own reader.  Byte accounting
+    mirrors :class:`~repro.net.channel.FIFOChannel` (model bytes, from
+    the accounting functions -- not frame bytes -- so simulator and wire
+    runs report comparable numbers).
+    """
+
+    def __init__(self, sched: Scheduler, source: int, dest: int,
+                 writer: asyncio.StreamWriter) -> None:
+        self.sched = sched
+        self.source = source
+        self.dest = dest
+        self.writer = writer
+        self.stats = ChannelStats()
+        self._sent_ids: list[int] = []
+
+    def send(self, envelope: Envelope) -> float:
+        """Frame ``envelope`` onto the stream; returns the send time."""
+        if envelope.source != self.source or envelope.dest != self.dest:
+            raise ValueError(
+                f"envelope addressed {envelope.source}->{envelope.dest} sent "
+                f"on channel {self.source}->{self.dest}"
+            )
+        if envelope.message_id is None:
+            object.__setattr__(envelope, "message_id", self.sched.next_message_id())
+        self.stats.messages += 1
+        self.stats.total_bytes += envelope.total_bytes()
+        self.stats.timestamp_bytes += envelope.timestamp_bytes
+        self.stats.payload_bytes += (
+            envelope.total_bytes() - envelope.timestamp_bytes - 8
+        )
+        assert envelope.message_id is not None
+        self._sent_ids.append(envelope.message_id)
+        self.writer.write(frame(encode_envelope(envelope)))
+        return self.sched.now
+
+    def fifo_respected(self) -> bool:
+        """Vacuously true: a TCP stream cannot reorder its own bytes."""
+        return True
+
+
+async def pump(reader: asyncio.StreamReader,
+               on_envelope: Callable[[Envelope], None],
+               *, on_eof: Optional[Callable[[], Awaitable[None]]] = None) -> None:
+    """Feed every DATA frame on ``reader`` to ``on_envelope`` until EOF.
+
+    The counterpart of :class:`WireChannel`: where the simulator's
+    channel *schedules* a delivery callback, the wire's pump *awaits*
+    frames and invokes the process's ``on_message`` inline on the event
+    loop -- same callback, different clock.  A HELLO frame after the
+    handshake is a protocol error.
+    """
+    while True:
+        body = await read_frame(reader)
+        if body is None:
+            break
+        decoded = decode_frame(body)
+        if not isinstance(decoded, Envelope):
+            raise WireError("unexpected HELLO frame after handshake")
+        on_envelope(decoded)
+    if on_eof is not None:
+        await on_eof()

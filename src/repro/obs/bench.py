@@ -60,14 +60,16 @@ class BenchScenario:
     ``kind`` selects the harness: ``"session"`` runs a full seeded
     editing session over ``topology``; ``"clocks"`` microbenches one
     clock family's primitives through
-    :class:`repro.clocks.base.ProfiledClock`.  ``faults`` names a
-    canned fault plan (``none`` / ``lossy`` / ``crash``) -- sessions
-    only, and star only (the mesh has no reliability layer to absorb
-    them).
+    :class:`repro.clocks.base.ProfiledClock`; ``"wire"`` runs a real
+    multi-process TCP cluster (:mod:`repro.cluster`) -- wall-clock
+    only, so its record is informational and never gated.  ``faults``
+    names a canned fault plan (``none`` / ``lossy`` / ``crash``) --
+    sessions only, and star only (the mesh has no reliability layer to
+    absorb them).
     """
 
     id: str
-    kind: str = "session"  # "session" | "clocks"
+    kind: str = "session"  # "session" | "clocks" | "wire"
     topology: str = "star"  # "star" | "mesh" (session kind only)
     clock_family: str = "compressed"
     n_sites: int = 4
@@ -76,7 +78,7 @@ class BenchScenario:
     faults: str = "none"  # "none" | "lossy" | "crash"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("session", "clocks"):
+        if self.kind not in ("session", "clocks", "wire"):
             raise ValueError(f"unknown scenario kind {self.kind!r}")
         if self.topology not in ("star", "mesh"):
             raise ValueError(f"unknown topology {self.topology!r}")
@@ -117,6 +119,7 @@ QUICK_MATRIX: tuple[BenchScenario, ...] = (
     BenchScenario(
         id="clocks-compressed", kind="clocks", clock_family="compressed", n_sites=8, ops_per_site=50
     ),
+    BenchScenario(id="wire-star-3x4", kind="wire", n_sites=3, ops_per_site=4),
 )
 
 #: The full matrix: the quick one plus bigger sessions and the
@@ -342,10 +345,59 @@ def _run_clocks_scenario(scenario: BenchScenario, cprofile_top: int) -> dict[str
     return record
 
 
+# -- wire cluster harness ----------------------------------------------------------
+
+
+def _run_wire_scenario(scenario: BenchScenario) -> dict[str, Any]:
+    """One real TCP cluster run (notifier + N client subprocesses).
+
+    Everything here is wall clock -- subprocess spawns, socket round
+    trips, OS scheduling -- so the record carries no deterministic
+    metrics and :func:`compare_artifacts` never gates it; the ``wire``
+    sub-document is the trend-analysis payload.
+    """
+    from repro.cluster import ClusterConfig, run_cluster
+
+    config = ClusterConfig(
+        clients=scenario.n_sites,
+        ops_per_client=scenario.ops_per_site,
+        seed=scenario.seed,
+        timeout_s=60.0,
+    )
+    report = run_cluster(config)
+    ops = config.total_ops
+    record = scenario.config_dict()
+    record.update(
+        {
+            "ops": ops,
+            "wall_s": report.wall_s,
+            "ops_per_sec": ops / report.wall_s if report.wall_s > 0 else None,
+            "converged": bool(report.ok),
+            "latency": {
+                "p50": report.latency_p50_s,
+                "p95": report.latency_p95_s,
+                "p99": None,
+            },
+            "wire": {
+                "processes": len(report.documents),
+                "trace_events": report.trace_events,
+                "latency_p50_s": report.latency_p50_s,
+                "latency_p95_s": report.latency_p95_s,
+                "wall_s": report.wall_s,
+            },
+            "phase_calls": {},
+            "profile": {},
+        }
+    )
+    return record
+
+
 def run_scenario(scenario: BenchScenario, *, cprofile_top: int = 0) -> dict[str, Any]:
     """Run one scenario; returns its artifact record."""
     if scenario.kind == "clocks":
         return _run_clocks_scenario(scenario, cprofile_top)
+    if scenario.kind == "wire":
+        return _run_wire_scenario(scenario)
     return _run_session_scenario(scenario, cprofile_top)
 
 
@@ -641,6 +693,15 @@ def compare_artifacts(
         if cur_record is None:
             report.entries.append(
                 MetricDelta(scenario_id, "scenario", 1.0, None, None, "fail")
+            )
+            continue
+        if base_record.get("kind") == "wire" or cur_record.get("kind") == "wire":
+            # Wire-cluster scenarios are wall-clock end to end (process
+            # spawns, sockets): nothing about them is deterministic, so
+            # they are recorded for trends but never gated.
+            report.entries.append(
+                MetricDelta(scenario_id, "wire scenario (not gated)",
+                            None, None, None, "info")
             )
             continue
         # Convergence is pass/fail, not a percentage.

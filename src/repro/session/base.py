@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
+from repro.net.scheduler import Scheduler
 from repro.obs.tracer import TraceEvent, Tracer
 
 
@@ -41,15 +42,18 @@ class CheckRecord:
 
 
 class SessionBase:
-    """Common orchestration over a simulator + topology + endpoints.
+    """Common orchestration over a scheduler + topology + endpoints.
 
     Subclasses construct ``self.sim`` and ``self.topology`` and
     implement :meth:`endpoints`; everything else -- running, convergence
     and quiescence checks, wire statistics, check aggregation -- is
-    shared.
+    shared.  ``sim`` is any :class:`~repro.net.scheduler.Scheduler`:
+    the in-repo sessions build a deterministic
+    :class:`~repro.net.simulator.Simulator`, while the cluster harness
+    runs the same endpoints under the wall-clock scheduler.
     """
 
-    sim: Any
+    sim: Scheduler
     topology: Any
     tracer: Optional[Tracer] = None
 

@@ -28,7 +28,7 @@ from repro.net.reliability import (
     ReliabilityStats,
     build_transport,
 )
-from repro.net.simulator import Simulator
+from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
 from repro.obs.tracer import Tracer
 
@@ -38,7 +38,7 @@ class EditorEndpoint(SimProcess):
 
     transport: AnyTransport
 
-    def __init__(self, sim: Simulator, pid: int,
+    def __init__(self, sim: Scheduler, pid: int,
                  reliability: Optional[ReliabilityConfig] = None,
                  tracer: Optional[Tracer] = None,
                  *, adopt_transport: Optional[AnyTransport] = None) -> None:

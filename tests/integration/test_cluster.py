@@ -1,0 +1,76 @@
+"""End-to-end cluster runs: real processes, real sockets, full verdicts.
+
+The acceptance bar of ISSUE 7: a localhost cluster of notifier + N
+client *processes* converges on the same document, every concurrency
+verdict agrees with the merged trace, and the trace passes the
+vector-clock cross-check -- the same editor classes the simulator
+tests drive, over TCP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.cluster.harness import read_artifacts
+
+
+def test_three_client_cluster_converges(tmp_path: Path) -> None:
+    config = ClusterConfig(clients=3, ops_per_client=3, seed=7,
+                           timeout_s=20.0)
+    report = run_cluster(config, tmp_path)
+    assert report.ok, report.summary()
+    assert len(report.documents) == 4  # notifier + 3 clients
+    docs = set(report.documents.values())
+    assert len(docs) == 1
+    assert all(n == config.total_ops for n in report.executed_ops.values())
+    assert report.cross_check.ok
+    assert report.cross_check.pairs_checked > 0
+    # Every process left its artifacts behind for post-mortems.
+    for site in range(4):
+        result, events = read_artifacts(tmp_path, site)
+        assert result.site == site
+        assert events, f"site {site} wrote an empty trace"
+
+
+def test_cluster_over_reliability_protocol(tmp_path: Path) -> None:
+    config = ClusterConfig(clients=2, ops_per_client=3, seed=3,
+                           reliability=True, timeout_s=20.0)
+    report = run_cluster(config, tmp_path)
+    assert report.ok, report.summary()
+    assert report.bad_releases == 0
+
+
+def test_serve_and_client_in_one_loop(tmp_path: Path) -> None:
+    """The process entry points also compose in-process (one event loop).
+
+    Covers the asyncio plumbing without subprocess overhead: the serve
+    coroutine announces its port on a future and the client coroutines
+    dial it, all on the test's own loop.
+    """
+    from repro.cluster.client import run_client
+    from repro.cluster.serve import serve
+
+    config = ClusterConfig(clients=2, ops_per_client=2, seed=1,
+                           timeout_s=15.0, settle_s=0.1)
+
+    async def body() -> None:
+        port_future: asyncio.Future[int] = asyncio.get_running_loop().create_future()
+        server = asyncio.ensure_future(serve(config, tmp_path,
+                                             on_port=port_future))
+        port = await asyncio.wait_for(port_future, 10.0)
+        clients = [
+            asyncio.ensure_future(run_client(config, site, port, tmp_path))
+            for site in (1, 2)
+        ]
+        results = await asyncio.wait_for(
+            asyncio.gather(server, *clients), config.timeout_s + 10.0
+        )
+        assert all(results)
+
+    asyncio.run(body())
+    documents = {
+        read_artifacts(tmp_path, site)[0].document for site in range(3)
+    }
+    assert len(documents) == 1

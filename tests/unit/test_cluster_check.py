@@ -1,0 +1,154 @@
+"""The cluster's trace merge and its vector-clock cross-check.
+
+Per-process traces arrive with private indices and same-host wall-clock
+stamps; :func:`merge_traces` must produce one stream that is a
+topological order of the causal DAG even when clock skew stamps an
+execution *before* the generation it depends on.  The vector-clock
+replay is the independent algorithm the merged trace is checked
+against.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.vector import Ordering, compare
+from repro.cluster.check import (
+    analyze_cluster,
+    cross_check_merged_trace,
+    merge_traces,
+    trace_vector_clock_hb,
+)
+from repro.cluster.harness import ProcessResult
+from repro.obs.analysis import TraceCausality
+from repro.obs.tracer import TraceEvent, TraceEventKind
+
+
+def _event(index: int, kind: TraceEventKind, time: float, site: int,
+           **kw) -> TraceEvent:
+    return TraceEvent(index=index, kind=kind, time=time, site=site, **kw)
+
+
+def test_merge_orders_by_time_and_reindexes() -> None:
+    a = [
+        _event(0, TraceEventKind.GENERATED, 1.0, 1, op_id="1-1"),
+        _event(1, TraceEventKind.EXECUTED, 3.0, 1, op_id="1-1'"),
+    ]
+    b = [
+        _event(0, TraceEventKind.GENERATED, 0.5, 2, op_id="2-1"),
+        _event(1, TraceEventKind.TRANSFORMED, 2.0, 0, op_id="1-1'",
+               source_op_id="1-1"),
+    ]
+    merged = merge_traces([a, b])
+    assert [e.index for e in merged] == [0, 1, 2, 3]
+    assert [e.op_id for e in merged] == ["2-1", "1-1", "1-1'", "1-1'"]
+    assert [e.time for e in merged] == [0.5, 1.0, 2.0, 3.0]
+
+
+def test_merge_repairs_clock_skew_on_execution() -> None:
+    # Site 1's clock runs ahead: its EXECUTED is stamped *before* the
+    # notifier's TRANSFORMED that generated the op.  The merge must
+    # defer the execution anyway.
+    executor = [_event(0, TraceEventKind.EXECUTED, 1.0, 1, op_id="2-1'")]
+    notifier = [
+        _event(0, TraceEventKind.GENERATED, 0.5, 2, op_id="2-1"),
+        _event(1, TraceEventKind.TRANSFORMED, 2.0, 0, op_id="2-1'",
+               source_op_id="2-1"),
+    ]
+    merged = merge_traces([executor, notifier])
+    kinds = [e.kind for e in merged]
+    assert kinds.index(TraceEventKind.TRANSFORMED) \
+        < kinds.index(TraceEventKind.EXECUTED)
+    # The repaired stream must satisfy the strict analysis layer.
+    TraceCausality(merged)
+
+
+def test_merge_preserves_per_stream_program_order() -> None:
+    # Stream-internal order survives even when timestamps say otherwise
+    # (a site's own trace IS its program order).
+    stream = [
+        _event(0, TraceEventKind.GENERATED, 2.0, 1, op_id="1-1"),
+        _event(1, TraceEventKind.GENERATED, 1.0, 1, op_id="1-2"),
+    ]
+    merged = merge_traces([stream])
+    assert [e.op_id for e in merged] == ["1-1", "1-2"]
+
+
+def test_merge_emits_blocked_heads_rather_than_hanging() -> None:
+    # A dead process never wrote the generation; the merge must still
+    # terminate (the analysis layer then reports the dangling EXECUTED).
+    orphan = [_event(0, TraceEventKind.EXECUTED, 1.0, 1, op_id="ghost'")]
+    merged = merge_traces([orphan])
+    assert len(merged) == 1
+
+
+def test_vector_clock_replay_agrees_with_dag_reachability() -> None:
+    # 1-1 happens-before its transform 1-1'; 2-1 is concurrent with 1-1.
+    events = [
+        _event(0, TraceEventKind.GENERATED, 1.0, 1, op_id="1-1"),
+        _event(1, TraceEventKind.GENERATED, 1.1, 2, op_id="2-1"),
+        _event(2, TraceEventKind.EXECUTED, 1.5, 0, op_id="1-1"),
+        _event(3, TraceEventKind.TRANSFORMED, 1.5, 0, op_id="1-1'",
+               source_op_id="1-1"),
+        _event(4, TraceEventKind.EXECUTED, 1.6, 0, op_id="2-1"),
+        _event(5, TraceEventKind.TRANSFORMED, 1.6, 0, op_id="2-1'",
+               source_op_id="2-1"),
+        _event(6, TraceEventKind.EXECUTED, 2.0, 2, op_id="1-1'"),
+        _event(7, TraceEventKind.EXECUTED, 2.1, 1, op_id="2-1'"),
+    ]
+    clocks = trace_vector_clock_hb(events, n_sites=2)
+    assert compare(clocks["1-1"], clocks["1-1'"]) is Ordering.BEFORE
+    assert compare(clocks["1-1"], clocks["2-1"]) is Ordering.CONCURRENT
+    report = cross_check_merged_trace(TraceCausality(events), n_sites=2)
+    assert report.ok
+    assert report.n_ops == 4
+    assert report.pairs_checked == 12
+
+
+def test_analyze_cluster_full_verdict() -> None:
+    streams = [
+        [
+            _event(0, TraceEventKind.GENERATED, 1.0, 1, op_id="1-1"),
+            _event(1, TraceEventKind.EXECUTED, 1.8, 1, op_id="1-1'"),
+        ],
+        [
+            _event(0, TraceEventKind.EXECUTED, 1.4, 0, op_id="1-1"),
+            _event(1, TraceEventKind.TRANSFORMED, 1.4, 0, op_id="1-1'",
+                   source_op_id="1-1"),
+        ],
+    ]
+    results = [
+        ProcessResult(role="client", site=1, document="abc", executed_ops=1),
+        ProcessResult(role="notifier", site=0, document="abc", executed_ops=1),
+    ]
+    report = analyze_cluster(results, streams, expected_ops=1, n_sites=1)
+    assert report.ok, report.summary()
+    assert report.converged
+    assert report.executed_ops == {0: 1, 1: 1}
+    assert "OK" in report.summary()
+
+
+def test_analyze_cluster_flags_divergence_and_timeout() -> None:
+    results = [
+        ProcessResult(role="client", site=1, document="abc", executed_ops=1),
+        ProcessResult(role="notifier", site=0, document="abX", executed_ops=1,
+                      timed_out=True),
+    ]
+    report = analyze_cluster(results, [[], []], expected_ops=1, n_sites=1)
+    assert not report.converged
+    assert report.timed_out
+    assert not report.ok
+    assert "FAILED" in report.summary()
+
+
+def test_process_result_json_roundtrip() -> None:
+    from repro.session.base import CheckRecord
+
+    result = ProcessResult(
+        role="client", site=2, document="doc", executed_ops=5,
+        checks=[CheckRecord(site=2, new_op_id="2-1", buffered_op_id="1-1",
+                            verdict=True, new_timestamp=[1, 0],
+                            buffered_timestamp=[0, 1])],
+        timed_out=False, lost_local_edits=0, retransmits=3,
+        messages_sent=9, wire_bytes=412,
+    )
+    restored = ProcessResult.from_json(result.to_json())
+    assert restored == result

@@ -1,0 +1,102 @@
+"""Transport wiring errors and the consolidated retransmit policy.
+
+Satellites of ISSUE 7: a transport used before its I/O hooks are
+attached must fail with a :class:`TransportError` naming the miswired
+endpoint (not a bare ``RuntimeError``), and every retransmit knob lives
+in one frozen :class:`RetransmitPolicy` that the scalar fields of
+``ReliabilityConfig`` keep mirroring for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.reliability import (
+    RawTransport,
+    ReliabilityConfig,
+    ReliableEndpoint,
+    RetransmitPolicy,
+    TransportError,
+)
+from repro.net.simulator import Simulator
+from repro.net.transport import Envelope
+
+
+def test_unwired_raw_transport_send_names_the_endpoint() -> None:
+    transport = RawTransport(pid=3)
+    with pytest.raises(TransportError, match=r"pid=3.*wire_send"):
+        transport.send(0, None, kind="op")
+
+
+def test_unwired_raw_transport_delivery_names_the_endpoint() -> None:
+    transport = RawTransport(pid=2)
+    envelope = Envelope(source=0, dest=2, payload=None,
+                        timestamp_bytes=0, kind="op")
+    with pytest.raises(TransportError, match=r"pid=2.*deliver"):
+        transport.on_wire(envelope)
+
+
+def test_unwired_reliable_endpoint_raises_transport_error() -> None:
+    endpoint = ReliableEndpoint(Simulator(), 1, ReliabilityConfig())
+    with pytest.raises(TransportError, match=r"pid=1"):
+        endpoint.send(0, None, kind="op")
+
+
+def test_transport_error_is_a_runtime_error() -> None:
+    # Callers that caught RuntimeError before the rename keep working.
+    assert issubclass(TransportError, RuntimeError)
+
+
+def test_wired_transport_does_not_raise() -> None:
+    sent: list[tuple[int, str]] = []
+    transport = RawTransport(
+        wire_send=lambda dest, payload, ts, kind: sent.append((dest, kind)),
+        deliver=lambda envelope: None,
+        pid=1,
+    )
+    transport.send(0, None, kind="op")
+    assert sent == [(0, "op")]
+
+
+# -- RetransmitPolicy ----------------------------------------------------------
+
+
+def test_default_policy_matches_legacy_scalar_defaults() -> None:
+    config = ReliabilityConfig()
+    policy = config.retransmit
+    assert policy == RetransmitPolicy()
+    assert (policy.base_rto, policy.max_rto, policy.backoff, policy.max_retries) \
+        == (config.base_rto, config.max_rto, config.backoff, config.max_retries)
+
+
+def test_legacy_scalars_populate_the_policy() -> None:
+    config = ReliabilityConfig(base_rto=0.1, max_rto=0.4, backoff=3.0,
+                               max_retries=2)
+    assert config.retransmit == RetransmitPolicy(
+        base_rto=0.1, max_rto=0.4, backoff=3.0, max_retries=2
+    )
+
+
+def test_explicit_policy_wins_and_mirrors_into_scalars() -> None:
+    policy = RetransmitPolicy(base_rto=0.2, max_rto=1.6, backoff=2.0,
+                              max_retries=None)
+    config = ReliabilityConfig(retransmit=policy)
+    assert config.retransmit is policy
+    assert config.base_rto == 0.2
+    assert config.max_rto == 1.6
+    assert config.max_retries is None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base_rto": 0.0},
+        {"base_rto": -1.0},
+        {"max_rto": 0.1, "base_rto": 0.5},  # max below base
+        {"backoff": 0.5},
+        {"max_retries": 0},
+    ],
+)
+def test_malformed_policy_rejected(kwargs) -> None:
+    with pytest.raises(ValueError):
+        RetransmitPolicy(**kwargs)

@@ -1,0 +1,262 @@
+"""The wire transport: framing, payload round-trips, channel accounting.
+
+The wire must carry the *same* protocol vocabulary the simulator moves
+in memory, byte-identically where a codec already exists -- an
+``OpMessage`` crossing TCP is the exact ``encode_op_message`` byte
+string the overhead accounting (CLAIM-OVH) charges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.timestamp import CompressedTimestamp
+from repro.editor.messages import (
+    ElectMessage,
+    OpMessage,
+    PromoteMessage,
+    ResyncRequest,
+    SnapshotMessage,
+    StateContribution,
+)
+from repro.net.channel import FIFOChannel, FixedLatency
+from repro.net.codec import encode_op_message
+from repro.net.reliability import ReliablePacket
+from repro.net.simulator import Simulator
+from repro.net.transport import Envelope
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    WireChannel,
+    WireError,
+    decode_frame,
+    encode_envelope,
+    encode_hello,
+    frame,
+    pump,
+    read_frame,
+)
+from repro.ot.operations import Delete, Insert
+
+
+def _op_message(op_id: str = "1-1", source: str | None = None) -> OpMessage:
+    return OpMessage(
+        op=Insert("x", 3),
+        timestamp=CompressedTimestamp(2, 5),
+        origin_site=1,
+        op_id=op_id,
+        source_op_id=source,
+    )
+
+
+def _roundtrip(payload, kind: str = "op", message_id: int | None = 7) -> Envelope:
+    envelope = Envelope(source=1, dest=0, payload=payload,
+                        timestamp_bytes=8, kind=kind, message_id=message_id)
+    decoded = decode_frame(encode_envelope(envelope))
+    assert isinstance(decoded, Envelope)
+    assert decoded.source == 1 and decoded.dest == 0
+    assert decoded.timestamp_bytes == 8
+    assert decoded.kind == kind
+    assert decoded.message_id == message_id
+    return decoded
+
+
+def test_hello_roundtrip() -> None:
+    assert decode_frame(encode_hello(3)) == 3
+
+
+def test_none_payload_roundtrip() -> None:
+    assert _roundtrip(None, kind="ack", message_id=None).payload is None
+
+
+def test_op_message_roundtrip_is_byte_identical() -> None:
+    message = _op_message(source=None)
+    decoded = _roundtrip(message).payload
+    assert encode_op_message(decoded) == encode_op_message(message)
+    assert decoded.op == Insert("x", 3)
+    assert decoded.timestamp == CompressedTimestamp(2, 5)
+    assert decoded.origin_site == 1
+    assert decoded.op_id == "1-1"
+
+
+def test_transformed_op_message_keeps_source_op_id() -> None:
+    decoded = _roundtrip(_op_message(op_id="1-1'", source="1-1")).payload
+    assert decoded.op_id == "1-1'"
+    assert decoded.source_op_id == "1-1"
+
+
+def test_reliable_packet_roundtrip_nests_payload() -> None:
+    packet = ReliablePacket(seq=0, epoch=2, ack=-1, payload=_op_message())
+    decoded = _roundtrip(packet, kind="rel").payload
+    assert decoded.seq == 0 and decoded.epoch == 2 and decoded.ack == -1
+    assert not decoded.probe
+    assert decoded.payload.op_id == "1-1"
+
+
+def test_probe_and_pure_ack_roundtrip() -> None:
+    probe = ReliablePacket(seq=-1, epoch=0, ack=4, probe=True)
+    decoded = _roundtrip(probe, kind="probe").payload
+    assert decoded.probe and decoded.seq == -1 and decoded.ack == 4
+    ack = ReliablePacket(seq=-1, epoch=1, ack=9)
+    assert _roundtrip(ack, kind="ack").payload == ack
+
+
+def test_snapshot_roundtrip() -> None:
+    snapshot = SnapshotMessage(document="abc", base_count=4, own_count=2,
+                               notifier_epoch=1,
+                               incorporated=frozenset({"1-1", "2-1"}))
+    decoded = _roundtrip(snapshot, kind="snapshot").payload
+    assert decoded == snapshot
+
+
+def test_snapshot_rejects_origin_clock_and_rich_documents() -> None:
+    from repro.clocks.vector import VectorClock
+
+    with pytest.raises(WireError):
+        encode_envelope(Envelope(
+            source=0, dest=1, kind="snapshot", timestamp_bytes=0,
+            payload=SnapshotMessage(document="abc", base_count=0,
+                                    origin_clock=VectorClock.zero(2)),
+        ))
+    with pytest.raises(WireError):
+        encode_envelope(Envelope(
+            source=0, dest=1, kind="snapshot", timestamp_bytes=0,
+            payload=SnapshotMessage(document=["rich"], base_count=0),
+        ))
+
+
+def test_failover_vocabulary_roundtrip() -> None:
+    assert _roundtrip(ResyncRequest(epoch=3), kind="resync").payload == \
+        ResyncRequest(epoch=3)
+    assert _roundtrip(ElectMessage(notifier_epoch=2), kind="elect").payload == \
+        ElectMessage(notifier_epoch=2)
+    assert _roundtrip(PromoteMessage(successor=2, notifier_epoch=2),
+                      kind="promote").payload == \
+        PromoteMessage(successor=2, notifier_epoch=2)
+
+
+def test_state_contribution_roundtrip() -> None:
+    contribution = StateContribution(
+        site=2,
+        received_from_center=5,
+        generated_locally=3,
+        received_per_origin={1: 2, 3: 3},
+        pending=(("2-4", Insert("y", 0)), ("2-5", Delete(1, 2))),
+        document="hello",
+    )
+    decoded = _roundtrip(contribution, kind="contrib").payload
+    assert decoded == contribution
+    assert _roundtrip(
+        StateContribution(site=1, received_from_center=0, generated_locally=0),
+        kind="contrib",
+    ).payload.document is None
+
+
+def test_unencodable_payload_raises() -> None:
+    with pytest.raises(WireError):
+        encode_envelope(Envelope(source=0, dest=1, payload=object(),
+                                 timestamp_bytes=0, kind="op"))
+
+
+def test_unknown_frame_tag_raises() -> None:
+    with pytest.raises(WireError):
+        decode_frame(b"\xff\x00")
+
+
+def test_oversized_frame_raises() -> None:
+    with pytest.raises(WireError):
+        frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+# -- stream framing ------------------------------------------------------------
+
+
+def _reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def test_read_frame_roundtrip_and_clean_eof() -> None:
+    async def body() -> None:
+        payload = encode_hello(2)
+        reader = _reader_with(frame(payload) + frame(payload))
+        assert await read_frame(reader) == payload
+        assert await read_frame(reader) == payload
+        assert await read_frame(reader) is None  # EOF on a boundary
+
+    asyncio.run(body())
+
+
+def test_read_frame_rejects_torn_prefix_and_torn_body() -> None:
+    async def body() -> None:
+        with pytest.raises(WireError, match="mid-prefix"):
+            await read_frame(_reader_with(b"\x00\x00"))
+        torn = frame(encode_hello(1))[:-2]
+        with pytest.raises(WireError, match="mid-frame"):
+            await read_frame(_reader_with(torn))
+
+    asyncio.run(body())
+
+
+def test_pump_decodes_and_rejects_late_hello() -> None:
+    async def body() -> None:
+        envelope = Envelope(source=1, dest=0, payload=_op_message(),
+                            timestamp_bytes=8, kind="op", message_id=1)
+        seen: list[Envelope] = []
+        await pump(_reader_with(frame(encode_envelope(envelope))), seen.append)
+        assert len(seen) == 1 and seen[0].payload.op_id == "1-1"
+        with pytest.raises(WireError, match="HELLO"):
+            await pump(_reader_with(frame(encode_hello(1))), seen.append)
+
+    asyncio.run(body())
+
+
+# -- WireChannel accounting ----------------------------------------------------
+
+
+class _NullWriter:
+    """Just enough of a StreamWriter to collect written bytes."""
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+
+def test_wire_channel_accounting_matches_fifo_channel() -> None:
+    message = _op_message()
+
+    def envelope() -> Envelope:
+        return Envelope(source=1, dest=0, payload=message,
+                        timestamp_bytes=8, kind="op")
+
+    sim = Simulator()
+    fifo = FIFOChannel(sim, 1, 0, FixedLatency(0.1), lambda e: None)
+    fifo.send(envelope())
+
+    writer = _NullWriter()
+    wire = WireChannel(Simulator(), 1, 0, writer)  # type: ignore[arg-type]
+    wire.send(envelope())
+
+    assert wire.stats.messages == fifo.stats.messages == 1
+    assert wire.stats.total_bytes == fifo.stats.total_bytes
+    assert wire.stats.timestamp_bytes == fifo.stats.timestamp_bytes
+    assert wire.stats.payload_bytes == fifo.stats.payload_bytes
+    assert wire.fifo_respected()
+    # And the frame really carries the envelope.
+    body = writer.chunks[0][4:]
+    decoded = decode_frame(body)
+    assert isinstance(decoded, Envelope)
+    assert decoded.payload.op_id == "1-1"
+
+
+def test_wire_channel_rejects_misaddressed_envelopes() -> None:
+    wire = WireChannel(Simulator(), 1, 0, _NullWriter())  # type: ignore[arg-type]
+    with pytest.raises(ValueError, match="addressed"):
+        wire.send(Envelope(source=2, dest=0, payload=None,
+                           timestamp_bytes=0, kind="op"))
