@@ -25,7 +25,10 @@ without writing any code:
   replays its slice of the seeded workload over the socket;
 * ``cluster`` -- launch a notifier + N client subprocesses on
   localhost, gather their per-process trace artifacts, and run the
-  convergence + causality cross-checks on the merged trace.
+  convergence + causality cross-checks on the merged trace;
+* ``monitor`` -- tail the live telemetry streams a cluster run writes
+  (``--telemetry-interval``) and aggregate them across processes into
+  one status line per interval plus a JSONL artifact.
 """
 
 from __future__ import annotations
@@ -430,6 +433,7 @@ def cmd_client(args: argparse.Namespace) -> int:
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
+    import tempfile
     from pathlib import Path
 
     from repro.cluster import ClusterConfig, run_cluster
@@ -444,18 +448,51 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             reliability=args.reliability,
             settle_s=args.settle,
             timeout_s=min(args.timeout, 20.0) if args.quick else args.timeout,
+            telemetry_interval_s=args.telemetry_interval,
+            crash_notifier_after_s=args.crash_notifier_after,
         )
     except ValueError as exc:
         print(f"invalid cluster config: {exc}", file=sys.stderr)
         return 2
     out_dir = Path(args.out) if args.out else None
+    if out_dir is None and config.telemetry_enabled:
+        # Telemetry consumers (``repro monitor``, CI artifact upload)
+        # need a knowable directory even when the caller gave none.
+        out_dir = Path(tempfile.mkdtemp(prefix="repro_cluster_"))
+        print(f"telemetry artifacts: {out_dir}")
+
+    def final_monitor_pass() -> None:
+        """Aggregate whatever telemetry the run left into monitor.jsonl."""
+        if not config.telemetry_enabled or out_dir is None:
+            return
+        from repro.obs.monitor import run_monitor
+
+        run_monitor(out_dir, once=True, expect_sites=config.clients + 1)
+
     try:
         report = run_cluster(config, out_dir)
     except ClusterError as exc:
         print(f"cluster harness failed: {exc}", file=sys.stderr)
+        final_monitor_pass()
         return 1
+    final_monitor_pass()
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.monitor import run_monitor
+
+    return run_monitor(
+        Path(args.dir),
+        interval_s=args.interval,
+        duration_s=args.duration,
+        once=args.once,
+        expect_sites=args.expect_sites,
+        artifact=Path(args.artifact) if args.artifact else None,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -692,11 +729,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI-sized run: 3 ops per client, tight timeout",
     )
     p_cluster.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="sample live telemetry every S seconds in every process "
+        "(0 = off); streams land next to the other artifacts for "
+        "``repro monitor``",
+    )
+    p_cluster.add_argument(
+        "--crash-notifier-after",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fault injection: hard-kill the notifier process after S "
+        "seconds (it dumps its flight recorder first)",
+    )
+    p_cluster.add_argument(
         "--out",
         default=None,
         help="artifact directory (default: a kept temporary directory)",
     )
     p_cluster.set_defaults(func=cmd_cluster)
+
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="aggregate the live telemetry streams of a cluster run "
+        "(one status line per interval + a JSONL artifact)",
+    )
+    p_monitor.add_argument(
+        "--dir", required=True,
+        help="the cluster artifact directory holding telemetry_<site>.jsonl",
+    )
+    p_monitor.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="seconds between aggregation passes (default 1.0)",
+    )
+    p_monitor.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="stop after S seconds (default: stop when streams go idle)",
+    )
+    p_monitor.add_argument(
+        "--once", action="store_true",
+        help="one aggregation pass over what is on disk, then exit",
+    )
+    p_monitor.add_argument(
+        "--expect-sites", type=int, default=None, metavar="N",
+        help="total sites expected (notifier + clients), for the "
+        "sites=K/N column",
+    )
+    p_monitor.add_argument(
+        "--artifact", default=None,
+        help="final JSONL artifact path (default: DIR/monitor.jsonl)",
+    )
+    p_monitor.set_defaults(func=cmd_monitor)
     return parser
 
 

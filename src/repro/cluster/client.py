@@ -16,6 +16,15 @@ through the frame pump.  The client is done when it has executed every
 expected operation (its own plus every transformed broadcast); it then
 settles briefly so trailing acknowledgements flush and hangs up -- the
 EOF is its completion signal to the notifier.
+
+Observability: with ``--telemetry-interval`` the client samples its own
+gauges into ``telemetry_<site>.jsonl`` and *gossips* every frame to the
+notifier as a TELEMETRY wire frame (piggybacked on the existing
+connection; older readers ignore the tag).  An EOF on the pump before
+the run is done means the notifier died: the client records a
+``peer_dead`` health event -- the live dead-peer flag, written before
+the run ends -- dumps its flight recorder, and gives up rather than
+waiting out the full timeout.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import random
+import signal
 from pathlib import Path
 from typing import Optional
 
@@ -31,13 +41,30 @@ from repro.cluster.harness import (
     add_common_args,
     config_from_args,
     endpoint_result,
+    flight_path,
+    telemetry_writer,
     wall_clock_tracer,
     write_artifacts,
 )
 from repro.editor.star_client import StarClient
 from repro.net.scheduler import AsyncioScheduler
 from repro.net.transport import Envelope
-from repro.net.wire import WireChannel, WireError, encode_hello, frame, pump
+from repro.net.wire import (
+    WireChannel,
+    WireError,
+    encode_hello,
+    encode_telemetry_frame,
+    frame,
+    pump,
+)
+from repro.obs.telemetry import (
+    FlightRecorder,
+    HealthEvent,
+    TelemetryFrame,
+    TelemetrySampler,
+    snapshot_endpoint,
+)
+from repro.obs.tracer import JsonlWriter
 from repro.workloads.random_session import generate_random_edits, random_positional_op
 
 
@@ -56,6 +83,7 @@ async def run_client(config: ClusterConfig, site: int, port: int,
         reliability=config.reliability_config(),
         tracer=tracer,
     )
+    recorder = FlightRecorder(tracer)
     reader, writer = await asyncio.open_connection(config.host, port)
     writer.write(frame(encode_hello(site)))
     await writer.drain()
@@ -65,6 +93,37 @@ async def run_client(config: ClusterConfig, site: int, port: int,
     intents = [i for i in generate_random_edits(session_config) if i.site == site]
     done = asyncio.Event()
     remaining = len(intents)
+    peer_dead = False
+    killed = False
+
+    def dump_flight(reason: str) -> None:
+        recorder.dump(flight_path(out_dir, site), reason=reason, site=site,
+                      role="client")
+
+    telem: Optional[JsonlWriter] = None
+    sampler: Optional[TelemetrySampler] = None
+    if config.telemetry_enabled:
+        stream = telemetry_writer(out_dir, site, "client")
+        telem = stream
+
+        def on_frame(tframe: TelemetryFrame) -> None:
+            stream.write_line(tframe.to_json())
+            # Gossip the frame to the notifier over the data connection;
+            # a readerless/dying socket must never take sampling down.
+            try:
+                writer.write(frame(encode_telemetry_frame(tframe)))
+            except (ConnectionError, RuntimeError):
+                pass
+
+        def probe(seq: int) -> list[TelemetryFrame]:
+            return [snapshot_endpoint(client, sched=sched, seq=seq,
+                                      role="client")]
+
+        sampler = TelemetrySampler(
+            sched, probe, interval=config.telemetry_interval_s,
+            on_frame=on_frame, keep=False,
+        )
+        sampler.start()
 
     def maybe_done() -> None:
         if remaining == 0 and len(client.executed_op_ids) >= config.total_ops:
@@ -86,18 +145,65 @@ async def run_client(config: ClusterConfig, site: int, port: int,
         client.on_message(envelope)
         maybe_done()
 
-    pump_task = asyncio.ensure_future(pump(reader, on_envelope))
+    def on_sigterm() -> None:
+        nonlocal killed
+        killed = True
+        dump_flight("kill-switch")
+        done.set()
+
+    loop = asyncio.get_running_loop()
+    sigterm_installed = False
+    try:
+        loop.add_signal_handler(signal.SIGTERM, on_sigterm)
+        sigterm_installed = True
+    except (NotImplementedError, ValueError):  # pragma: no cover - non-Unix
+        pass
+
+    async def pump_loop() -> None:
+        nonlocal peer_dead
+        try:
+            await pump(reader, on_envelope)
+        except (WireError, ConnectionError):
+            pass
+        if done.is_set():
+            return
+        # EOF with the run unfinished: the notifier is gone, and no
+        # further progress is possible.  Flag it live, preserve the
+        # evidence, and stop waiting.
+        peer_dead = True
+        if telem is not None:
+            telem.write_line(HealthEvent(
+                time=sched.now, site=site, kind="peer_dead", verdict="fail",
+                peer=0, detail="connection to notifier closed mid-run",
+            ).to_json())
+        dump_flight("peer-death")
+        done.set()
+
+    pump_task = asyncio.ensure_future(pump_loop())
     timed_out = False
     try:
         await asyncio.wait_for(done.wait(), config.timeout_s)
-        await asyncio.sleep(config.settle_s)
+        if peer_dead or killed:
+            timed_out = True
+        else:
+            await asyncio.sleep(config.settle_s)
     except asyncio.TimeoutError:
         timed_out = True
+        dump_flight("timeout")
+    if sigterm_installed:
+        loop.remove_signal_handler(signal.SIGTERM)
     pump_task.cancel()
     try:
         await pump_task
     except (asyncio.CancelledError, WireError, ConnectionError):
         pass
+    if sampler is not None:
+        # Final sample: the stream's last frame carries the final local
+        # stats, which is what the monitor aggregates per site.
+        sampler.stop()
+        sampler.sample()
+    if telem is not None:
+        telem.close()
     writer.close()
     try:
         await writer.wait_closed()

@@ -14,6 +14,13 @@ announcing its port (covering transient bind races on pathological
 hosts); every subprocess carries its own hard timeout and writes
 ``timed_out`` artifacts instead of hanging; and the driver holds a
 final kill-switch deadline above all of them.
+
+The kill-switch is SIGTERM-first: each process installs a handler that
+dumps its flight recorder before exiting, so a wedged run leaves
+post-mortem evidence instead of vanishing under SIGKILL.  Whatever
+telemetry, flight-recorder, and monitor artifacts survive a failed run
+are *salvaged* -- named in the failure report rather than discarded
+with the temp directory.
 """
 
 from __future__ import annotations
@@ -34,6 +41,11 @@ from repro.cluster.harness import ClusterConfig, read_artifacts
 
 SPAWN_RETRIES = 3
 PORT_ANNOUNCE_TIMEOUT_S = 15.0
+
+#: Grace between the kill-switch SIGTERM and the follow-up SIGKILL:
+#: long enough for a flight-recorder dump and artifact write, short
+#: enough that a truly wedged process cannot stall the harness.
+TERM_GRACE_S = 5.0
 
 
 class ClusterError(RuntimeError):
@@ -92,6 +104,30 @@ def _spawn_notifier(
     )
 
 
+def _kill_switch(proc: "subprocess.Popen[str]") -> None:
+    """Terminate gently, then firmly: SIGTERM (so the process can dump
+    its flight recorder and write artifacts), a bounded grace, SIGKILL."""
+    proc.terminate()
+    try:
+        proc.wait(timeout=TERM_GRACE_S)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+def salvage_artifacts(out_dir: Path) -> list[str]:
+    """The observability files a failed run left behind, by name.
+
+    Telemetry streams are crash-safe (flushed per record) and flight
+    recorders dump on the way down, so even a run whose processes never
+    wrote their result artifacts usually leaves evidence here.
+    """
+    names = []
+    for pattern in ("flight_*.jsonl", "telemetry_*.jsonl", "monitor.jsonl"):
+        names.extend(p.name for p in sorted(out_dir.glob(pattern)))
+    return names
+
+
 def run_cluster(
     config: ClusterConfig,
     out_dir: Optional[Path] = None,
@@ -107,6 +143,7 @@ def run_cluster(
     started = time.monotonic()
     notifier_proc, port = _spawn_notifier(config, out_dir)
     client_procs: list[subprocess.Popen[str]] = []
+    kill_switched: list[int] = []
     try:
         for site in range(1, config.clients + 1):
             client_procs.append(
@@ -120,18 +157,17 @@ def run_cluster(
         # Every subprocess self-limits with --timeout; the driver's own
         # deadline sits above them as the kill-switch of last resort.
         deadline = started + config.timeout_s + 15.0
-        for proc in [notifier_proc, *client_procs]:
+        for site, proc in enumerate([notifier_proc, *client_procs]):
             remaining = max(0.1, deadline - time.monotonic())
             try:
                 proc.wait(timeout=remaining)
             except subprocess.TimeoutExpired:
-                proc.kill()
-                proc.wait()
+                kill_switched.append(site)
+                _kill_switch(proc)
     finally:
         for proc in [notifier_proc, *client_procs]:
             if proc.poll() is None:
-                proc.kill()
-                proc.wait()
+                _kill_switch(proc)
     wall_s = time.monotonic() - started
 
     results = []
@@ -140,16 +176,28 @@ def run_cluster(
         try:
             result, events = read_artifacts(out_dir, site)
         except (OSError, ValueError) as exc:
+            salvaged = salvage_artifacts(out_dir)
+            note = (
+                f"; salvaged observability artifacts: {', '.join(salvaged)}"
+                if salvaged else ""
+            )
             raise ClusterError(
                 f"process for site {site} left no readable artifacts in "
-                f"{out_dir}: {exc}"
+                f"{out_dir}: {exc}{note}"
             ) from exc
         results.append(result)
         streams.append(events)
-    return analyze_cluster(
+    report = analyze_cluster(
         results,
         streams,
         expected_ops=config.total_ops,
         n_sites=config.clients,
         wall_s=wall_s,
     )
+    if kill_switched:
+        salvaged = salvage_artifacts(out_dir)
+        report.errors.append(
+            f"driver kill-switch fired for site(s) {kill_switched}"
+            + (f"; salvaged: {', '.join(salvaged)}" if salvaged else "")
+        )
+    return report

@@ -17,7 +17,14 @@ from typing import Any, Optional
 from repro.editor.star_client import StarClient
 from repro.editor.star_notifier import StarNotifier
 from repro.net.reliability import ReliabilityConfig
-from repro.obs.tracer import TraceEvent, Tracer, read_jsonl, write_jsonl
+from repro.obs.telemetry import TELEMETRY_FORMAT, TELEMETRY_SCHEMA_VERSION
+from repro.obs.tracer import (
+    JsonlWriter,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+    write_jsonl,
+)
 from repro.session.base import CheckRecord
 from repro.workloads.random_session import RandomSessionConfig
 
@@ -47,6 +54,11 @@ class ClusterConfig:
     host: str = "127.0.0.1"
     settle_s: float = 0.3
     timeout_s: float = 30.0
+    #: Wall seconds between telemetry samples; 0 disables telemetry.
+    telemetry_interval_s: float = 0.0
+    #: Fault injection: hard-kill the notifier process (after a
+    #: flight-recorder dump) this many wall seconds into the run.
+    crash_notifier_after_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -55,6 +67,18 @@ class ClusterConfig:
             raise ValueError(f"need at least one op per client: {self.ops_per_client}")
         if self.time_scale <= 0 or self.timeout_s <= 0 or self.settle_s < 0:
             raise ValueError(f"malformed cluster timing: {self}")
+        if self.telemetry_interval_s < 0:
+            raise ValueError(
+                f"telemetry interval must be >= 0: {self.telemetry_interval_s}"
+            )
+        if self.crash_notifier_after_s is not None and self.crash_notifier_after_s <= 0:
+            raise ValueError(
+                f"crash-notifier delay must be positive: {self.crash_notifier_after_s}"
+            )
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return self.telemetry_interval_s > 0
 
     @property
     def total_ops(self) -> int:
@@ -87,6 +111,10 @@ class ClusterConfig:
         ]
         if self.reliability:
             args.append("--reliability")
+        if self.telemetry_enabled:
+            args.extend(["--telemetry-interval", str(self.telemetry_interval_s)])
+        if self.crash_notifier_after_s is not None:
+            args.extend(["--crash-notifier-after", str(self.crash_notifier_after_s)])
         return args
 
 
@@ -142,6 +170,33 @@ def trace_path(out_dir: Path, site: int) -> Path:
     return out_dir / f"trace_{site}.jsonl"
 
 
+def telemetry_path(out_dir: Path, site: int) -> Path:
+    """The per-process live telemetry stream (frames + health events)."""
+    return out_dir / f"telemetry_{site}.jsonl"
+
+
+def flight_path(out_dir: Path, site: int) -> Path:
+    """The per-process flight-recorder dump (written on crash/kill)."""
+    return out_dir / f"flight_{site}.jsonl"
+
+
+def telemetry_writer(out_dir: Path, site: int, role: str) -> JsonlWriter:
+    """Open the crash-safe telemetry stream for one process.
+
+    Every record is flushed as it is written (see
+    :class:`~repro.obs.tracer.JsonlWriter`), so ``repro monitor`` in
+    another process sees frames *live* and a killed process still
+    leaves a readable prefix.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return JsonlWriter(telemetry_path(out_dir, site), {
+        "format": TELEMETRY_FORMAT,
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "site": site,
+        "role": role,
+    })
+
+
 def endpoint_result(
     role: str,
     endpoint: "StarNotifier | StarClient",
@@ -180,10 +235,15 @@ def write_artifacts(out_dir: Path, result: ProcessResult, tracer: Tracer) -> Non
 
 
 def read_artifacts(out_dir: Path, site: int) -> tuple[ProcessResult, list[TraceEvent]]:
-    """Load one process's artifacts (raises if the process never wrote)."""
+    """Load one process's artifacts (raises if the process never wrote).
+
+    The trace is read leniently: a process killed while writing leaves
+    at most one torn trailing line, and whatever it did record is still
+    evidence the driver should merge rather than discard.
+    """
     result = ProcessResult.from_json(result_path(out_dir, site).read_text())
     with trace_path(out_dir, site).open() as fh:
-        _header, events = read_jsonl(fh)
+        _header, events = read_jsonl(fh, lenient=True)
     return result, events
 
 
@@ -197,6 +257,15 @@ def add_common_args(parser: Any) -> None:
     parser.add_argument("--settle", type=float, default=0.3)
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument("--reliability", action="store_true")
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=0.0,
+        help="seconds between telemetry samples (0 = telemetry off)",
+    )
+    parser.add_argument(
+        "--crash-notifier-after", type=float, default=None, metavar="S",
+        help="fault injection: hard-kill the notifier process after S "
+        "seconds (it dumps its flight recorder first)",
+    )
     parser.add_argument("--out", required=True, help="artifact directory")
 
 
@@ -210,4 +279,6 @@ def config_from_args(args: Any) -> ClusterConfig:
         host=args.host,
         settle_s=args.settle,
         timeout_s=args.timeout,
+        telemetry_interval_s=args.telemetry_interval,
+        crash_notifier_after_s=args.crash_notifier_after,
     )

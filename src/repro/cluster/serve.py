@@ -13,12 +13,26 @@ hangs up only after converging, so EOF doubles as the client's
 completion signal).  A hard timeout bounds the wait; on expiry the
 artifacts are written with ``timed_out`` set so the driver fails the
 run instead of diagnosing a hang.
+
+Observability: with ``--telemetry-interval`` the notifier runs a
+:class:`~repro.obs.telemetry.TelemetrySampler` on its scheduler,
+appending frames to a crash-safe ``telemetry_0.jsonl`` stream, and
+ingests the TELEMETRY frames its clients gossip over the wire -- which
+makes it the cluster's live watchdog host: retransmit-storm, causal
+stall, peer silence, and the digest divergence sentinel all run here,
+emitting structured ``health`` records into the same stream.  A
+:class:`~repro.obs.telemetry.FlightRecorder` dumps the recent trace
+tail to ``flight_0.jsonl`` on the driver's kill-switch (SIGTERM), on
+timeout, and on the injected ``--crash-notifier-after`` fault (which
+then hard-exits without writing artifacts, like a real crash).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import os
+import signal
 from pathlib import Path
 from typing import Optional
 
@@ -27,6 +41,8 @@ from repro.cluster.harness import (
     add_common_args,
     config_from_args,
     endpoint_result,
+    flight_path,
+    telemetry_writer,
     wall_clock_tracer,
     write_artifacts,
 )
@@ -34,6 +50,16 @@ from repro.editor.star_notifier import StarNotifier
 from repro.net.scheduler import AsyncioScheduler
 from repro.net.transport import Envelope
 from repro.net.wire import WireChannel, WireError, decode_frame, pump, read_frame
+from repro.obs.telemetry import (
+    FlightRecorder,
+    HealthEvent,
+    SilenceWatchdog,
+    TelemetryFrame,
+    TelemetrySampler,
+    default_watchdogs,
+    snapshot_endpoint,
+)
+from repro.obs.tracer import JsonlWriter
 
 
 async def serve(config: ClusterConfig, out_dir: Path,
@@ -49,9 +75,42 @@ async def serve(config: ClusterConfig, out_dir: Path,
         reliability=config.reliability_config(),
         tracer=tracer,
     )
+    recorder = FlightRecorder(tracer)
     done = asyncio.Event()
     all_connected = asyncio.Event()
     disconnected: set[int] = set()
+    killed = False
+
+    telem: Optional[JsonlWriter] = None
+    sampler: Optional[TelemetrySampler] = None
+    if config.telemetry_enabled:
+        stream = telemetry_writer(out_dir, 0, "notifier")
+        telem = stream
+        interval = config.telemetry_interval_s
+        watchdogs = default_watchdogs(
+            expected_ops=config.total_ops,
+            stall_after=max(4 * interval, 1.0),
+            storm_threshold=10,
+        )
+        # Silence is judged by *arrival* time on this process's clock:
+        # frame times come from each client's own scheduler epoch, so
+        # comparing them across processes would fold clock-domain skew
+        # into the verdict.
+        watchdogs.append(SilenceWatchdog(
+            max_silence=max(6 * interval, 2.0), clock=lambda: sched.now,
+        ))
+
+        def probe(seq: int) -> list[TelemetryFrame]:
+            return [snapshot_endpoint(notifier, sched=sched, seq=seq,
+                                      role="notifier")]
+
+        sampler = TelemetrySampler(
+            sched, probe, interval=interval,
+            on_frame=lambda f: stream.write_line(f.to_json()),
+            on_health=lambda e: stream.write_line(e.to_json()),
+            watchdogs=watchdogs, keep=False,
+        )
+        sampler.start()
 
     def maybe_done() -> None:
         complete = len(notifier.executed_op_ids) >= config.total_ops
@@ -65,7 +124,7 @@ async def serve(config: ClusterConfig, out_dir: Path,
             writer.close()
             return
         pid = decode_frame(hello)
-        if isinstance(pid, Envelope):
+        if not isinstance(pid, int):
             raise WireError("expected a HELLO frame to open the connection")
         notifier.attach_channel(pid, WireChannel(sched, 0, pid, writer))
         if len(notifier.out_channels) >= config.clients:
@@ -79,13 +138,58 @@ async def serve(config: ClusterConfig, out_dir: Path,
             notifier.on_message(envelope)
             maybe_done()
 
+        def on_telemetry(frame: TelemetryFrame) -> None:
+            if sampler is not None:
+                sampler.feed(frame)
+
         try:
-            await pump(reader, on_envelope)
+            await pump(reader, on_envelope, on_telemetry=on_telemetry)
         except (WireError, ConnectionError):
             pass  # a killed client counts as disconnected, not as a crash here
         finally:
             disconnected.add(pid)
             maybe_done()
+
+    def dump_flight(reason: str) -> None:
+        recorder.dump(flight_path(out_dir, 0), reason=reason, site=0,
+                      role="notifier")
+
+    def on_sigterm() -> None:
+        # The driver's kill-switch: record the evidence, then let the
+        # normal shutdown path write whatever artifacts it still can.
+        nonlocal killed
+        killed = True
+        dump_flight("kill-switch")
+        done.set()
+
+    loop = asyncio.get_running_loop()
+    sigterm_installed = False
+    try:
+        loop.add_signal_handler(signal.SIGTERM, on_sigterm)
+        sigterm_installed = True
+    except (NotImplementedError, ValueError):  # pragma: no cover - non-Unix
+        pass
+
+    crash_task: Optional["asyncio.Task[None]"] = None
+    if config.crash_notifier_after_s is not None:
+
+        async def crash() -> None:
+            assert config.crash_notifier_after_s is not None
+            await asyncio.sleep(config.crash_notifier_after_s)
+            dump_flight("injected-crash")
+            if telem is not None:
+                telem.write_line(HealthEvent(
+                    time=sched.now, site=0, kind="crash", verdict="fail",
+                    detail="injected notifier crash",
+                ).to_json())
+                telem.close()
+            # A real crash writes no result artifacts: exit without
+            # passing go.  The flight recorder and the flushed
+            # telemetry stream are all that survives -- which is the
+            # point of having them.
+            os._exit(70)
+
+        crash_task = asyncio.ensure_future(crash())
 
     server = await asyncio.start_server(handle, config.host, 0)
     port = server.sockets[0].getsockname()[1]
@@ -97,8 +201,23 @@ async def serve(config: ClusterConfig, out_dir: Path,
         await asyncio.wait_for(done.wait(), config.timeout_s)
     except asyncio.TimeoutError:
         timed_out = True
+        dump_flight("timeout")
+    if killed:
+        timed_out = True
+    if crash_task is not None:
+        crash_task.cancel()
+    if sigterm_installed:
+        loop.remove_signal_handler(signal.SIGTERM)
     server.close()
     await server.wait_closed()
+    if sampler is not None:
+        # One final sample so the stream's last frame carries the final
+        # local stats (the monitor's per-site aggregate is exact, not
+        # one interval stale).
+        sampler.stop()
+        sampler.sample()
+    if telem is not None:
+        telem.close()
     messages = sum(ch.stats.messages for ch in notifier.out_channels.values())
     wire_bytes = sum(ch.stats.total_bytes for ch in notifier.out_channels.values())
     write_artifacts(

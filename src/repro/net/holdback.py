@@ -156,6 +156,15 @@ class HoldbackQueue(Generic[T]):
                     yield item
                     progressed = True
 
+    @property
+    def depth(self) -> int:
+        """Items currently held, as an explicit gauge for telemetry.
+
+        Identical to ``len(queue)``; named so gauge-collection code
+        reads as what it measures rather than a container protocol.
+        """
+        return self._held
+
     def __len__(self) -> int:
         return self._held
 

@@ -231,6 +231,12 @@ class Transport(Protocol):
 
     def delivered_in_order(self) -> bool: ...
 
+    def inflight(self) -> int: ...
+
+    def holdback_depth(self) -> int: ...
+
+    def holdback_high_water(self) -> int: ...
+
 
 class TransportError(RuntimeError):
     """A transport was used before its I/O hooks were attached.
@@ -311,6 +317,17 @@ class RawTransport:
         """Vacuously true: FIFO channels deliver in order by themselves."""
         return True
 
+    def inflight(self) -> int:
+        """No send window: nothing is ever awaiting acknowledgement."""
+        return 0
+
+    def holdback_depth(self) -> int:
+        """No reorder buffer: arrivals deliver immediately."""
+        return 0
+
+    def holdback_high_water(self) -> int:
+        return 0
+
 
 class ReliableEndpoint:
     """One process's reliability protocol instance, as a composable object.
@@ -364,6 +381,20 @@ class ReliableEndpoint:
     def rel_stats(self) -> ReliabilityStats:
         """Pre-refactor name of :attr:`stats`."""
         return self.stats
+
+    # -- telemetry gauges ------------------------------------------------------
+
+    def inflight(self) -> int:
+        """Unacknowledged packets across every live link: the send window."""
+        return sum(len(link.unacked) for link in self._links.values())
+
+    def holdback_depth(self) -> int:
+        """Arrivals currently parked in the reorder buffer."""
+        return self._holdback.depth
+
+    def holdback_high_water(self) -> int:
+        """Peak simultaneous reorder-buffer occupancy this lifetime."""
+        return self._holdback.max_held
 
     # -- sending ---------------------------------------------------------------
 

@@ -18,6 +18,13 @@ Every frame is ``u32 body-length (big-endian) + body``.  The body is a
   in.
 * ``DATA`` -- one envelope: source, dest, timestamp-byte accounting,
   optional message id, kind string, then a tagged payload.
+* ``TELEMETRY`` -- one runtime-gauge snapshot
+  (:class:`~repro.obs.telemetry.TelemetryFrame`), schema-versioned and
+  byte-exact.  Telemetry rides the same stream as the protocol but is
+  *advisory*: :func:`pump` hands these to an optional ``on_telemetry``
+  callback and silently drops them when none is given, so a reader
+  that predates (or does not care about) telemetry interoperates with
+  a sender that gossips it.
 
 Payloads reuse the byte-exact codec of :mod:`repro.net.codec` wherever
 one exists: an :class:`~repro.editor.messages.OpMessage` is embedded as
@@ -39,6 +46,7 @@ delivery.  Editor processes attach it via the ordinary
 from __future__ import annotations
 
 import asyncio
+import struct
 from typing import Any, Awaitable, Callable, Optional, Union
 
 from repro.editor.messages import (
@@ -62,9 +70,11 @@ from repro.net.codec import (
 from repro.net.reliability import ReliablePacket
 from repro.net.scheduler import Scheduler
 from repro.net.transport import Envelope
+from repro.obs.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryFrame
 
 FRAME_HELLO = 0x01
 FRAME_DATA = 0x02
+FRAME_TELEMETRY = 0x03
 
 PAYLOAD_NONE = 0x00
 PAYLOAD_OP = 0x01
@@ -229,14 +239,79 @@ def encode_envelope(envelope: Envelope) -> bytes:
     return writer.getvalue()
 
 
-def decode_frame(body: bytes) -> Union[int, Envelope]:
-    """Decode a frame body: a HELLO yields the pid, a DATA an Envelope."""
+_F64 = struct.Struct(">d")
+
+
+def encode_telemetry_frame(tframe: TelemetryFrame) -> bytes:
+    """One telemetry frame as a TELEMETRY frame body (no length prefix).
+
+    Byte-exact by construction: fixed-width fields in declaration
+    order, schema version first, so the same frame always serialises to
+    the same bytes and a future schema is detected before any field is
+    misread.
+    """
+    writer = Writer()
+    writer.u8(FRAME_TELEMETRY)
+    writer.u32(TELEMETRY_SCHEMA_VERSION)
+    writer.u32(tframe.site)
+    writer.string(tframe.role)
+    writer.u32(tframe.seq)
+    writer.raw(_F64.pack(tframe.time))
+    writer.u32(tframe.epoch)
+    writer.u32(tframe.ops_generated)
+    writer.u32(tframe.ops_executed)
+    writer.u32(tframe.holdback_depth)
+    writer.u32(tframe.holdback_high_water)
+    writer.u32(tframe.inflight)
+    writer.u32(tframe.retransmits)
+    writer.u32(tframe.storage_ints)
+    writer.u32(tframe.queue_depth)
+    writer.string(tframe.digest)
+    return writer.getvalue()
+
+
+def _decode_telemetry(reader: Reader) -> TelemetryFrame:
+    version = reader.u32()
+    if version != TELEMETRY_SCHEMA_VERSION:
+        raise WireError(
+            f"telemetry schema {version} is not the supported "
+            f"{TELEMETRY_SCHEMA_VERSION}"
+        )
+    site = reader.u32()
+    role = reader.string()
+    seq = reader.u32()
+    time = float(_F64.unpack(reader.raw(8))[0])
+    tframe = TelemetryFrame(
+        site=site,
+        role=role,
+        seq=seq,
+        time=time,
+        epoch=reader.u32(),
+        ops_generated=reader.u32(),
+        ops_executed=reader.u32(),
+        holdback_depth=reader.u32(),
+        holdback_high_water=reader.u32(),
+        inflight=reader.u32(),
+        retransmits=reader.u32(),
+        storage_ints=reader.u32(),
+        queue_depth=reader.u32(),
+        digest=reader.string(),
+    )
+    reader.expect_done()
+    return tframe
+
+
+def decode_frame(body: bytes) -> Union[int, Envelope, TelemetryFrame]:
+    """Decode a frame body: HELLO -> pid, DATA -> Envelope,
+    TELEMETRY -> TelemetryFrame."""
     reader = Reader(body)
     tag = reader.u8()
     if tag == FRAME_HELLO:
         pid = reader.u32()
         reader.expect_done()
         return pid
+    if tag == FRAME_TELEMETRY:
+        return _decode_telemetry(reader)
     if tag != FRAME_DATA:
         raise WireError(f"unknown frame tag 0x{tag:02x}")
     source = reader.u32()
@@ -330,20 +405,28 @@ class WireChannel:
 
 async def pump(reader: asyncio.StreamReader,
                on_envelope: Callable[[Envelope], None],
-               *, on_eof: Optional[Callable[[], Awaitable[None]]] = None) -> None:
+               *, on_eof: Optional[Callable[[], Awaitable[None]]] = None,
+               on_telemetry: Optional[Callable[[TelemetryFrame], None]] = None,
+               ) -> None:
     """Feed every DATA frame on ``reader`` to ``on_envelope`` until EOF.
 
     The counterpart of :class:`WireChannel`: where the simulator's
     channel *schedules* a delivery callback, the wire's pump *awaits*
     frames and invokes the process's ``on_message`` inline on the event
     loop -- same callback, different clock.  A HELLO frame after the
-    handshake is a protocol error.
+    handshake is a protocol error; a TELEMETRY frame goes to
+    ``on_telemetry`` when given and is otherwise ignored (gossip is
+    advisory -- a pump that does not subscribe must not choke on it).
     """
     while True:
         body = await read_frame(reader)
         if body is None:
             break
         decoded = decode_frame(body)
+        if isinstance(decoded, TelemetryFrame):
+            if on_telemetry is not None:
+                on_telemetry(decoded)
+            continue
         if not isinstance(decoded, Envelope):
             raise WireError("unexpected HELLO frame after handshake")
         on_envelope(decoded)

@@ -24,7 +24,14 @@ only lazily, inside functions.  The pieces:
 * :mod:`repro.obs.bench` -- the benchmark scenario matrix, its
   versioned ``BENCH_<label>.json`` artifacts, and the
   :func:`compare_artifacts` regression gate;
-* JSONL and Chrome ``trace_event`` serialisation.
+* :class:`TelemetryFrame` / :class:`TelemetrySampler` / the watchdogs /
+  :class:`FlightRecorder` (:mod:`repro.obs.telemetry`) -- live runtime
+  gauges sampled on any scheduler, health verdicts over the gauge
+  stream, and the crash-time trace-tail dump;
+* :mod:`repro.obs.monitor` -- the cross-process aggregator behind
+  ``python -m repro monitor``;
+* JSONL and Chrome ``trace_event`` serialisation, including the
+  crash-safe :class:`JsonlWriter` the telemetry streams ride on.
 """
 
 from repro.obs.analysis import (
@@ -54,15 +61,43 @@ from repro.obs.profiler import (
     profiled,
     uninstall,
 )
+from repro.obs.monitor import (
+    MONITOR_FORMAT,
+    MONITOR_SCHEMA_VERSION,
+    MonitorSnapshot,
+    aggregate,
+    merged_registry,
+    run_monitor,
+    scan_dir,
+    site_registry,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    TELEMETRY_SCHEMA_VERSION,
+    CausalStallWatchdog,
+    DivergenceSentinel,
+    FlightRecorder,
+    HealthEvent,
+    RetransmitStormWatchdog,
+    SilenceWatchdog,
+    TelemetryFrame,
+    TelemetrySampler,
+    Watchdog,
+    default_watchdogs,
+    document_digest,
+    snapshot_endpoint,
+)
 from repro.obs.tracer import (
     TRACE_FORMAT,
     TRACE_SCHEMA_VERSION,
     Histogram,
+    JsonlWriter,
     MetricsRegistry,
     TraceEvent,
     TraceEventKind,
     Tracer,
     read_jsonl,
+    trace_header,
     write_chrome_trace,
     write_jsonl,
 )
@@ -70,30 +105,54 @@ from repro.obs.tracer import (
 __all__ = [
     "BENCH_FORMAT",
     "BENCH_SCHEMA_VERSION",
+    "MONITOR_FORMAT",
+    "MONITOR_SCHEMA_VERSION",
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_SCHEMA_VERSION",
     "TRACE_FORMAT",
     "TRACE_SCHEMA_VERSION",
     "BenchScenario",
+    "CausalStallWatchdog",
     "ComparisonReport",
     "CrossCheckReport",
+    "DivergenceSentinel",
+    "FlightRecorder",
+    "HealthEvent",
     "Histogram",
+    "JsonlWriter",
     "MetricsRegistry",
+    "MonitorSnapshot",
     "PhaseProfiler",
     "PhaseStats",
+    "RetransmitStormWatchdog",
+    "SilenceWatchdog",
+    "TelemetryFrame",
+    "TelemetrySampler",
     "TraceAnalysisError",
     "TraceCausality",
     "TraceEvent",
     "TraceEventKind",
     "Tracer",
+    "Watchdog",
     "activated",
+    "aggregate",
     "compare_artifacts",
     "cross_check_causality",
+    "default_watchdogs",
+    "document_digest",
     "install",
     "latency_histograms",
+    "merged_registry",
     "profiled",
     "read_artifact",
     "read_jsonl",
     "released_without_cause",
+    "run_monitor",
     "run_scenario",
+    "scan_dir",
+    "site_registry",
+    "snapshot_endpoint",
+    "trace_header",
     "uninstall",
     "verify_check_records",
     "write_artifact",

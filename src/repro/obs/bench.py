@@ -256,9 +256,22 @@ def _run_session_scenario(scenario: BenchScenario, cprofile_top: int) -> dict[st
         session.run()
     traced_wall = time.perf_counter() - t0
 
+    # Pass 3: the same run with an armed telemetry sampler (and nothing
+    # else), so the artifact tracks what *live gauges* cost separately
+    # from what full tracing costs.  A separate pass keeps the
+    # deterministic metrics above byte-identical to pass 1/2.
+    t0 = time.perf_counter()
+    telem_session = _build_session(scenario, tracer=None)
+    telem_session.attach_telemetry(interval=1.0, max_samples=64)
+    telem_session.run()
+    telem_wall = time.perf_counter() - t0
+
     latency = _merged_latency(tracer)
     overhead_pct = (
         (traced_wall - plain_wall) / plain_wall * 100.0 if plain_wall > 0 else None
+    )
+    telem_overhead_pct = (
+        (telem_wall - plain_wall) / plain_wall * 100.0 if plain_wall > 0 else None
     )
     record = scenario.config_dict()
     record.update(
@@ -278,6 +291,7 @@ def _run_session_scenario(scenario: BenchScenario, cprofile_top: int) -> dict[st
                 "p99": latency.percentile(99),
             },
             "trace_overhead_pct": overhead_pct,
+            "telemetry_overhead_pct": telem_overhead_pct,
             "phase_calls": profiler.phase_calls(),
             "profile": profiler.as_dict(),
         }
@@ -338,6 +352,7 @@ def _run_clocks_scenario(scenario: BenchScenario, cprofile_top: int) -> dict[str
             "holdback_high_water": 0,
             "latency": {"p50": None, "p95": None, "p99": None},
             "trace_overhead_pct": None,
+            "telemetry_overhead_pct": None,
             "phase_calls": profiler.phase_calls(),
             "profile": profiler.as_dict(),
         }

@@ -1,0 +1,394 @@
+"""``python -m repro monitor``: aggregate live telemetry across processes.
+
+Cluster processes append :class:`~repro.obs.telemetry.TelemetryFrame`
+and :class:`~repro.obs.telemetry.HealthEvent` records to per-site
+``telemetry_<site>.jsonl`` streams (crash-safe, one flushed line per
+record -- see :class:`repro.obs.tracer.JsonlWriter`).  The monitor
+tails those files in the artifact directory, merges per-site state into
+one cross-process view (counters summed and histograms concatenated via
+:meth:`~repro.obs.tracer.MetricsRegistry.merge`), and renders one line
+per interval:
+
+    t=2.10s sites=4/4 exec=9/9/9/9 gen=9 hold=0(hw 2) infl=0 rtx=0 \
+store=11 q=3 epoch=0 digests=ok
+
+On exit (or with ``--once``, immediately) it writes a final
+``monitor.jsonl`` artifact: the aggregation header, every interval
+snapshot, and every health event observed -- the machine-readable
+record of what the live view showed.
+
+Reading is deliberately lenient: a process killed mid-write leaves at
+most one torn trailing line, and the monitor's whole purpose is to work
+*during* failures, so undecodable trailing records are skipped rather
+than fatal.  Frames are deduplicated by ``(site, seq)`` because a
+client's frame can appear twice -- once in its own stream and once
+gossiped into the notifier's.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    TELEMETRY_SCHEMA_VERSION,
+    HealthEvent,
+    TelemetryFrame,
+)
+from repro.obs.tracer import Histogram, JsonlWriter, MetricsRegistry
+
+MONITOR_FORMAT = "repro-obs-monitor-v1"
+MONITOR_SCHEMA_VERSION = 1
+
+
+# -- reading the streams -------------------------------------------------------
+
+
+def read_telemetry(
+    path: Union[str, Path]
+) -> tuple[dict[str, Any], list[TelemetryFrame], list[HealthEvent]]:
+    """Read one process's telemetry stream, tolerating a torn tail.
+
+    Returns ``(header, frames, health_events)``.  Lines that fail to
+    parse are skipped: the stream is written crash-safely, so damage is
+    confined to the final line of a killed process -- and a monitor
+    that dies on exactly the failure it exists to observe is useless.
+    """
+    header: dict[str, Any] = {}
+    frames: list[TelemetryFrame] = []
+    health: list[HealthEvent] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for index, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError:
+            continue  # torn line from a killed writer
+        if index == 0 and data.get("format") == TELEMETRY_FORMAT:
+            header = data
+            continue
+        rec = data.get("rec")
+        try:
+            if rec == "frame":
+                frames.append(TelemetryFrame.from_json(line))
+            elif rec == "health":
+                health.append(HealthEvent.from_json(line))
+        except (ValueError, KeyError, TypeError):
+            continue
+    return header, frames, health
+
+
+def scan_dir(
+    out_dir: Union[str, Path]
+) -> tuple[dict[int, list[TelemetryFrame]], list[HealthEvent]]:
+    """Read every ``telemetry_*.jsonl`` in ``out_dir``, deduplicated.
+
+    Frames are keyed by ``(site, seq)``: a client frame gossiped to the
+    notifier appears in two files but counts once.  Health events are
+    deduplicated by their full identity for the same reason.
+    """
+    by_site: dict[int, list[TelemetryFrame]] = {}
+    seen_frames: set[tuple[int, int]] = set()
+    health: list[HealthEvent] = []
+    seen_health: set[HealthEvent] = set()
+    for path in sorted(Path(out_dir).glob("telemetry_*.jsonl")):
+        _header, frames, events = read_telemetry(path)
+        for frame in frames:
+            key = (frame.site, frame.seq)
+            if key in seen_frames:
+                continue
+            seen_frames.add(key)
+            by_site.setdefault(frame.site, []).append(frame)
+        for event in events:
+            if event in seen_health:
+                continue
+            seen_health.add(event)
+            health.append(event)
+    for frames_list in by_site.values():
+        frames_list.sort(key=lambda f: f.seq)
+    health.sort(key=lambda e: (e.time, e.site, e.kind))
+    return by_site, health
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def site_registry(frames: Sequence[TelemetryFrame]) -> MetricsRegistry:
+    """One site's frames as a registry: final counters, gauge histograms.
+
+    Counters carry the *latest* cumulative values (they are already
+    monotone totals in the frames); histograms record every sampled
+    gauge value, so a percentile over the merged registry answers "how
+    deep did hold-back get across the whole cluster".
+    """
+    registry = MetricsRegistry()
+    if not frames:
+        return registry
+    last = max(frames, key=lambda f: f.seq)
+    registry.inc("telemetry.ops_generated", last.ops_generated)
+    registry.inc("telemetry.ops_executed", last.ops_executed)
+    registry.inc("telemetry.retransmits", last.retransmits)
+    registry.inc("telemetry.storage_ints", last.storage_ints)
+    registry.inc("telemetry.frames", len(frames))
+    for frame in frames:
+        registry.observe("telemetry.holdback_depth", frame.holdback_depth)
+        registry.observe("telemetry.inflight", frame.inflight)
+        registry.observe("telemetry.queue_depth", frame.queue_depth)
+    return registry
+
+
+def merged_registry(by_site: dict[int, list[TelemetryFrame]]) -> MetricsRegistry:
+    """The cross-process registry: every site merged into one."""
+    merged = MetricsRegistry()
+    for site in sorted(by_site):
+        merged.merge(site_registry(by_site[site]))
+    return merged
+
+
+@dataclass
+class MonitorSnapshot:
+    """One aggregated interval: the latest frame per site, summed."""
+
+    time: float
+    latest: dict[int, TelemetryFrame] = field(default_factory=dict)
+    health: list[HealthEvent] = field(default_factory=list)
+
+    @property
+    def sites(self) -> list[int]:
+        return sorted(self.latest)
+
+    @property
+    def ops_executed(self) -> dict[int, int]:
+        return {site: self.latest[site].ops_executed for site in self.sites}
+
+    @property
+    def ops_generated(self) -> int:
+        return sum(f.ops_generated for f in self.latest.values())
+
+    @property
+    def holdback_depth(self) -> int:
+        return sum(f.holdback_depth for f in self.latest.values())
+
+    @property
+    def holdback_high_water(self) -> int:
+        return max((f.holdback_high_water for f in self.latest.values()),
+                   default=0)
+
+    @property
+    def inflight(self) -> int:
+        return sum(f.inflight for f in self.latest.values())
+
+    @property
+    def retransmits(self) -> int:
+        return sum(f.retransmits for f in self.latest.values())
+
+    @property
+    def storage_ints(self) -> int:
+        return sum(f.storage_ints for f in self.latest.values())
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(f.queue_depth for f in self.latest.values())
+
+    @property
+    def epoch(self) -> int:
+        return max((f.epoch for f in self.latest.values()), default=0)
+
+    @property
+    def digests_agree(self) -> bool:
+        """True unless two *complete-looking* replicas disagree.
+
+        Mid-run digests legitimately differ, so disagreement is only
+        meaningful among sites at the maximum executed count.
+        """
+        if not self.latest:
+            return True
+        top = max(f.ops_executed for f in self.latest.values())
+        digests = {
+            f.digest for f in self.latest.values()
+            if f.ops_executed == top and f.digest
+        }
+        return len(digests) <= 1
+
+    def line(self, expected_sites: Optional[int] = None) -> str:
+        """The live one-line-per-interval rendering."""
+        count = len(self.latest)
+        sites = f"{count}/{expected_sites}" if expected_sites else str(count)
+        executed = "/".join(
+            str(self.latest[s].ops_executed) for s in self.sites
+        ) or "-"
+        digests = "ok" if self.digests_agree else "DIVERGED"
+        text = (
+            f"t={self.time:8.2f}s sites={sites} exec={executed} "
+            f"gen={self.ops_generated} hold={self.holdback_depth}"
+            f"(hw {self.holdback_high_water}) infl={self.inflight} "
+            f"rtx={self.retransmits} store={self.storage_ints} "
+            f"q={self.queue_depth} epoch={self.epoch} digests={digests}"
+        )
+        for event in self.health:
+            text += (
+                f"\n  health: [{event.verdict}] site {event.site} "
+                f"{event.kind}"
+                + (f" (peer {event.peer})" if event.peer is not None else "")
+                + (f": {event.detail}" if event.detail else "")
+            )
+        return text
+
+    def to_json(self) -> str:
+        data: dict[str, Any] = {
+            "rec": "interval",
+            "time": self.time,
+            "sites": self.sites,
+            "ops_executed": {str(s): n for s, n in self.ops_executed.items()},
+            "ops_generated": self.ops_generated,
+            "holdback_depth": self.holdback_depth,
+            "holdback_high_water": self.holdback_high_water,
+            "inflight": self.inflight,
+            "retransmits": self.retransmits,
+            "storage_ints": self.storage_ints,
+            "queue_depth": self.queue_depth,
+            "epoch": self.epoch,
+            "digests_agree": self.digests_agree,
+            "health": [json.loads(e.to_json()) for e in self.health],
+        }
+        return json.dumps(data)
+
+
+def aggregate(
+    by_site: dict[int, list[TelemetryFrame]],
+    health: Sequence[HealthEvent] = (),
+) -> MonitorSnapshot:
+    """Fold per-site frame lists into one snapshot (latest per site)."""
+    latest: dict[int, TelemetryFrame] = {}
+    newest = 0.0
+    for site, frames in by_site.items():
+        if not frames:
+            continue
+        last = max(frames, key=lambda f: f.seq)
+        latest[site] = last
+        newest = max(newest, last.time)
+    return MonitorSnapshot(time=newest, latest=latest, health=list(health))
+
+
+# -- the live loop -------------------------------------------------------------
+
+
+def run_monitor(
+    out_dir: Union[str, Path],
+    *,
+    interval_s: float = 1.0,
+    duration_s: Optional[float] = None,
+    once: bool = False,
+    expect_sites: Optional[int] = None,
+    artifact: Optional[Union[str, Path]] = None,
+    emit: Callable[[str], None] = print,
+    clock: Callable[[], float] = _time.monotonic,
+    sleep: Callable[[float], None] = _time.sleep,
+) -> int:
+    """Tail ``out_dir``'s telemetry, print interval lines, write the artifact.
+
+    With ``once``, aggregates whatever is on disk right now, prints a
+    single line, writes the artifact, and returns -- the CI probe mode.
+    Otherwise loops every ``interval_s`` until ``duration_s`` elapses
+    (or forever when ``None``; the live loop also stops once every
+    expected site has gone quiet for a few intervals).  Returns 0 if
+    any telemetry was seen and no ``fail`` health verdict surfaced,
+    2 on a ``fail`` verdict, 1 if no telemetry ever appeared.
+    """
+    out_path = Path(out_dir)
+    artifact_path = Path(artifact) if artifact else out_path / "monitor.jsonl"
+    started = clock()
+    reported_health: set[HealthEvent] = set()
+    snapshots: list[MonitorSnapshot] = []
+    all_health: list[HealthEvent] = []
+    seen_any = False
+    idle_rounds = 0
+    last_fingerprint: Optional[tuple[tuple[int, int], ...]] = None
+
+    while True:
+        by_site, health = scan_dir(out_path)
+        fresh = [e for e in health if e not in reported_health]
+        reported_health.update(fresh)
+        all_health.extend(fresh)
+        snapshot = aggregate(by_site, fresh)
+        if snapshot.latest:
+            seen_any = True
+            snapshots.append(snapshot)
+            emit(snapshot.line(expect_sites))
+        fingerprint = tuple(
+            (site, max(f.seq for f in frames))
+            for site, frames in sorted(by_site.items())
+        )
+        if once:
+            break
+        idle_rounds = idle_rounds + 1 if fingerprint == last_fingerprint else 0
+        last_fingerprint = fingerprint
+        if duration_s is not None and clock() - started >= duration_s:
+            break
+        if seen_any and idle_rounds >= 3:
+            break  # every stream has gone quiet: the run is over
+        sleep(interval_s)
+
+    registry = merged_registry(scan_dir(out_path)[0])
+    _write_artifact(artifact_path, snapshots, all_health, registry)
+    if any(e.verdict == "fail" for e in all_health):
+        return 2
+    return 0 if seen_any else 1
+
+
+def _write_artifact(
+    path: Path,
+    snapshots: Sequence[MonitorSnapshot],
+    health: Sequence[HealthEvent],
+    registry: MetricsRegistry,
+) -> None:
+    """The final JSONL artifact: header, intervals, health, merged metrics."""
+    header = {
+        "format": MONITOR_FORMAT,
+        "schema_version": MONITOR_SCHEMA_VERSION,
+        "telemetry_schema_version": TELEMETRY_SCHEMA_VERSION,
+        "intervals": len(snapshots),
+        "health_events": len(health),
+    }
+    with JsonlWriter(path, header) as writer:
+        for snapshot in snapshots:
+            writer.write_line(snapshot.to_json())
+        for event in health:
+            writer.write_line(event.to_json())
+        writer.write_line(json.dumps({
+            "rec": "metrics",
+            "counters": registry.counters(),
+            "histograms": {
+                name: _histogram_summary(hist)
+                for name, hist in registry.histograms().items()
+            },
+        }))
+
+
+def _histogram_summary(hist: Histogram) -> dict[str, Any]:
+    return {
+        "count": hist.count,
+        "min": hist.minimum,
+        "p50": hist.percentile(50),
+        "p95": hist.percentile(95),
+        "max": hist.maximum,
+        "mean": hist.mean,
+    }
+
+
+__all__ = [
+    "MONITOR_FORMAT",
+    "MONITOR_SCHEMA_VERSION",
+    "MonitorSnapshot",
+    "aggregate",
+    "merged_registry",
+    "read_telemetry",
+    "run_monitor",
+    "scan_dir",
+    "site_registry",
+]

@@ -30,8 +30,11 @@ from __future__ import annotations
 
 import enum
 import json
+import os
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, TextIO
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, TextIO, Union
 
 TRACE_FORMAT = "repro-obs-trace-v1"
 
@@ -231,6 +234,22 @@ class MetricsRegistry:
             self._histograms[name] = hist
         return hist
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry; returns ``self``.
+
+        Counters add; histograms concatenate their recorded values, so a
+        percentile over the merged registry is the percentile over the
+        union of observations (not an average of per-process
+        percentiles, which would be statistically meaningless).  The
+        cluster monitor uses this to aggregate per-process telemetry
+        into one cross-process view.  ``other`` is left untouched.
+        """
+        for name, value in other._counters.items():
+            self.inc(name, value)
+        for name, hist in other._histograms.items():
+            self.histogram(name).values.extend(hist.values)
+        return self
+
     def counters(self) -> dict[str, int]:
         """A sorted snapshot of every counter."""
         return dict(sorted(self._counters.items()))
@@ -258,7 +277,19 @@ class Tracer:
     the simulator clock via :meth:`bind_clock` so events are stamped
     with virtual time.  ``emit`` also bumps a ``trace.<kind>`` counter
     in the bundled :class:`MetricsRegistry`.
+
+    Ring mode (the flight recorder's substrate): constructed with
+    ``mode="ring"``, the tracer keeps only the most recent
+    ``ring_capacity`` events in a bounded deque and skips the per-event
+    metrics counter -- near-zero cost and constant memory, for processes
+    that want a post-mortem tail rather than a full trace.  ``index``
+    stays the global emission index either way (``emitted`` counts every
+    emission, evicted or not), so a dumped ring is still a causally
+    ordered slice of the full trace.
     """
+
+    #: Default bound of a ``mode="ring"`` tracer.
+    DEFAULT_RING_CAPACITY = 256
 
     def __init__(
         self,
@@ -266,9 +297,25 @@ class Tracer:
         enabled: bool = True,
         clock: Optional[Callable[[], float]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        mode: str = "full",
+        ring_capacity: Optional[int] = None,
     ) -> None:
+        if mode not in ("full", "ring"):
+            raise ValueError(f"tracer mode must be 'full' or 'ring', got {mode!r}")
+        if ring_capacity is not None and ring_capacity < 1:
+            raise ValueError(f"ring_capacity must be positive, got {ring_capacity}")
         self.enabled = enabled
-        self.events: list[TraceEvent] = []
+        self.mode = mode if ring_capacity is None else "ring"
+        self.ring_capacity: Optional[int] = None
+        if self.mode == "ring":
+            self.ring_capacity = (
+                ring_capacity if ring_capacity is not None
+                else self.DEFAULT_RING_CAPACITY
+            )
+        self.events: "deque[TraceEvent] | list[TraceEvent]" = (
+            deque(maxlen=self.ring_capacity) if self.mode == "ring" else []
+        )
+        self.emitted = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock: Callable[[], float] = clock if clock is not None else _zero_clock
 
@@ -294,7 +341,7 @@ class Tracer:
         if not self.enabled:
             return None
         event = TraceEvent(
-            index=len(self.events),
+            index=self.emitted,
             kind=kind,
             time=self._clock() if time is None else time,
             site=site,
@@ -307,7 +354,9 @@ class Tracer:
             via=via,
         )
         self.events.append(event)
-        self.metrics.inc(f"trace.{kind.value}")
+        self.emitted += 1
+        if self.mode != "ring":  # ring mode skips the counter: cost contract
+            self.metrics.inc(f"trace.{kind.value}")
         return event
 
     def by_kind(self, kind: TraceEventKind) -> list[TraceEvent]:
@@ -320,6 +369,19 @@ class Tracer:
 # -- serialisation ---------------------------------------------------------------
 
 
+def trace_header(extra: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+    """The canonical header object: format, schema, then sorted extras."""
+    head: dict[str, Any] = {
+        "format": TRACE_FORMAT,
+        "schema_version": TRACE_SCHEMA_VERSION,
+    }
+    if extra:
+        for key in sorted(extra):
+            if key not in ("format", "schema_version"):
+                head[key] = extra[key]
+    return head
+
+
 def write_jsonl(
     events: Iterable[TraceEvent], fh: TextIO, header: Optional[dict[str, Any]] = None
 ) -> int:
@@ -330,32 +392,104 @@ def write_jsonl(
     with the canonical event field order in
     :meth:`TraceEvent.to_json` this makes exports byte-deterministic:
     two runs of the same seeded scenario produce identical files.
+
+    The stream is flushed before returning, so a caller that crashes
+    *after* this call still leaves a complete file behind.  For files
+    that grow record-by-record over a process's lifetime (telemetry
+    streams, flight-recorder dumps) use :class:`JsonlWriter`, which
+    flushes after every record.
     """
-    head: dict[str, Any] = {
-        "format": TRACE_FORMAT,
-        "schema_version": TRACE_SCHEMA_VERSION,
-    }
-    if header:
-        for key in sorted(header):
-            if key not in ("format", "schema_version"):
-                head[key] = header[key]
-    fh.write(json.dumps(head) + "\n")
+    fh.write(json.dumps(trace_header(header)) + "\n")
     count = 1
     for event in events:
         fh.write(event.to_json() + "\n")
         count += 1
+    fh.flush()
     return count
 
 
-def read_jsonl(fh: TextIO) -> tuple[dict[str, Any], list[TraceEvent]]:
-    """Read a trace written by :func:`write_jsonl`; (header, events)."""
+class JsonlWriter:
+    """A crash-safe streaming JSONL writer: one flushed line per record.
+
+    :func:`write_jsonl` writes a finished trace in one shot; this class
+    is for streams that must survive the writer dying mid-run.  Every
+    ``write_line`` is followed by a ``flush()``, so at any instant the
+    file on disk is a complete prefix of whole records -- the only
+    possible damage from a hard kill is a torn *final* line, which
+    :func:`read_jsonl` in ``lenient`` mode drops instead of raising.
+    Usable as a context manager; ``close()`` is idempotent and fsyncs
+    best-effort so the bytes outlive the process.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 header: Optional[dict[str, Any]] = None) -> None:
+        self.path = Path(path)
+        self.lines = 0
+        self._fh: Optional[TextIO] = self.path.open("w", encoding="utf-8")
+        if header is not None:
+            self.write_line(json.dumps(header))
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def write_line(self, text: str) -> None:
+        """Append one record line and flush it to the OS immediately."""
+        if self._fh is None:
+            raise ValueError(f"writer for {self.path} is closed")
+        self._fh.write(text + "\n")
+        self._fh.flush()
+        self.lines += 1
+
+    def write_event(self, event: TraceEvent) -> None:
+        self.write_line(event.to_json())
+
+    def close(self) -> None:
+        """Flush, fsync (best-effort), and close; safe to call twice."""
+        fh = self._fh
+        if fh is None:
+            return
+        self._fh = None
+        fh.flush()
+        try:
+            os.fsync(fh.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        fh.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_jsonl(
+    fh: TextIO, *, lenient: bool = False
+) -> tuple[dict[str, Any], list[TraceEvent]]:
+    """Read a trace written by :func:`write_jsonl`; (header, events).
+
+    ``lenient`` tolerates a torn final line (a process killed mid-write
+    through :class:`JsonlWriter` can leave at most one): a trailing line
+    that fails to parse is dropped instead of failing the whole read.
+    A malformed line *before* the end is still an error -- that is
+    corruption, not a crash artifact.
+    """
     lines = [line for line in fh.read().splitlines() if line.strip()]
     if not lines:
         raise ValueError("empty trace file")
     header = json.loads(lines[0])
     if header.get("format") != TRACE_FORMAT:
         raise ValueError(f"unknown trace format {header.get('format')!r}")
-    return header, [TraceEvent.from_json(line) for line in lines[1:]]
+    events: list[TraceEvent] = []
+    for position, line in enumerate(lines[1:], start=2):
+        try:
+            events.append(TraceEvent.from_json(line))
+        except (ValueError, KeyError, TypeError):
+            if lenient and position == len(lines):
+                break  # torn final record: the crash the writer allows
+            raise
+    return header, events
 
 
 def write_chrome_trace(events: Iterable[TraceEvent], fh: TextIO) -> int:

@@ -74,3 +74,105 @@ def test_serve_and_client_in_one_loop(tmp_path: Path) -> None:
         read_artifacts(tmp_path, site)[0].document for site in range(3)
     }
     assert len(documents) == 1
+
+
+def test_cluster_with_telemetry_streams_and_monitor_aggregation(
+    tmp_path: Path,
+) -> None:
+    """ISSUE 8 acceptance, clean half: telemetry on, cross-check EXACT.
+
+    TELEMETRY frames must actually travel the wire (the notifier's
+    stream holds gossiped client frames), and the monitor's per-site
+    aggregate must equal each process's final local stats.
+    """
+    import pytest
+
+    from repro.cluster.driver import ClusterError
+    from repro.cluster.harness import telemetry_path
+    from repro.obs.monitor import aggregate, run_monitor, scan_dir
+
+    config = ClusterConfig(clients=3, ops_per_client=3, seed=7,
+                           timeout_s=20.0, telemetry_interval_s=0.2)
+    try:
+        report = run_cluster(config, tmp_path)
+    except ClusterError as exc:  # pragma: no cover - loaded-host diagnostics
+        pytest.fail(f"telemetry-enabled cluster failed: {exc}")
+    # Telemetry on changes no verdict: the trace-vs-oracle cross-check
+    # still passes EXACT on the merged trace.
+    assert report.ok, report.summary()
+    assert report.cross_check.ok
+
+    # Every process wrote a telemetry stream...
+    for site in range(4):
+        assert telemetry_path(tmp_path, site).exists()
+    by_site, health = scan_dir(tmp_path)
+    assert sorted(by_site) == [0, 1, 2, 3]
+    assert not any(e.verdict == "fail" for e in health)
+
+    # ...the clients' frames were gossiped over the wire into the
+    # notifier's stream (frames whose site != 0 in telemetry_0.jsonl)...
+    from repro.obs.monitor import read_telemetry
+
+    _header, notifier_stream, _events = read_telemetry(
+        telemetry_path(tmp_path, 0)
+    )
+    assert {f.site for f in notifier_stream} > {0}
+
+    # ...and the monitor's aggregate equals each process's final stats.
+    snapshot = aggregate(by_site, health)
+    assert snapshot.digests_agree
+    for site in range(4):
+        result, _ = read_artifacts(tmp_path, site)
+        assert snapshot.ops_executed[site] == result.executed_ops
+        assert snapshot.latest[site].retransmits == result.retransmits
+    # The CI probe mode exits clean and leaves the artifact behind.
+    assert run_monitor(tmp_path, once=True, expect_sites=4,
+                       emit=lambda _: None) == 0
+    assert (tmp_path / "monitor.jsonl").exists()
+
+
+def test_injected_notifier_crash_leaves_flight_recorders(
+    tmp_path: Path,
+) -> None:
+    """ISSUE 8 acceptance, failure half: crash mid-run, evidence survives.
+
+    The notifier hard-exits mid-run; every process must dump a flight
+    recorder, the clients must flag the dead peer *live* (a ``fail``
+    health event in their telemetry streams, written before the run
+    ends), and the driver must salvage the artifacts by name instead of
+    discarding the run.
+    """
+    import pytest
+
+    from repro.cluster.driver import ClusterError
+    from repro.cluster.harness import flight_path, telemetry_path
+    from repro.obs.monitor import scan_dir
+    from repro.obs.tracer import read_jsonl
+
+    config = ClusterConfig(clients=2, ops_per_client=20, seed=5,
+                           time_scale=0.3, timeout_s=8.0,
+                           telemetry_interval_s=0.2,
+                           crash_notifier_after_s=1.5)
+    with pytest.raises(ClusterError) as excinfo:
+        run_cluster(config, tmp_path)
+    # The failure report names the salvaged observability artifacts.
+    assert "salvaged" in str(excinfo.value)
+    assert "flight_0.jsonl" in str(excinfo.value)
+
+    # A flight-recorder dump from every process, in trace format.
+    for site in range(3):
+        with flight_path(tmp_path, site).open() as fh:
+            header, _events = read_jsonl(fh, lenient=True)
+        assert header["flight_recorder"] is True
+        assert header["site"] == site
+    with flight_path(tmp_path, 0).open() as fh:
+        header, _events = read_jsonl(fh, lenient=True)
+    assert header["reason"] == "injected-crash"
+
+    # The clients flagged the dead notifier live, before the run ended.
+    _by_site, health = scan_dir(tmp_path)
+    dead_flags = [e for e in health if e.kind == "peer_dead"
+                  and e.verdict == "fail" and e.peer == 0]
+    assert {e.site for e in dead_flags} == {1, 2}
+    # The crashed notifier's own stream survived (crash-safe writes).
+    assert telemetry_path(tmp_path, 0).exists()

@@ -1,0 +1,197 @@
+"""Unit tests for the cross-process telemetry aggregator.
+
+The monitor's contracts: duplicated frames (local stream + gossiped
+copy) count once, aggregation reflects each site's *latest* frame,
+digest comparison only judges complete-looking replicas, the merged
+registry equals the sum/union of the per-site registries, and
+``run_monitor`` renders live lines, writes the JSONL artifact, and maps
+what it saw onto its exit code.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    HealthEvent,
+    TelemetryFrame,
+    aggregate,
+    merged_registry,
+    run_monitor,
+    scan_dir,
+    site_registry,
+)
+from repro.obs.monitor import MONITOR_FORMAT, read_telemetry
+from repro.obs.telemetry import TELEMETRY_FORMAT, TELEMETRY_SCHEMA_VERSION
+
+
+def frame_at(site: int, seq: int, **over) -> TelemetryFrame:
+    base = dict(site=site, role="client" if site else "notifier",
+                seq=seq, time=float(seq))
+    base.update(over)
+    return TelemetryFrame(**base)
+
+
+def write_stream(path, records, *, site=0, role="notifier"):
+    header = json.dumps({
+        "format": TELEMETRY_FORMAT,
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "site": site,
+        "role": role,
+    })
+    path.write_text("\n".join([header, *(r.to_json() for r in records)]) + "\n")
+
+
+class TestScanDir:
+    def test_gossiped_duplicates_count_once(self, tmp_path):
+        local = [frame_at(1, 0), frame_at(1, 1)]
+        write_stream(tmp_path / "telemetry_1.jsonl", local, site=1, role="client")
+        # The notifier's stream holds its own frame plus a gossiped copy.
+        write_stream(tmp_path / "telemetry_0.jsonl",
+                     [frame_at(0, 0), local[0]])
+        by_site, health = scan_dir(tmp_path)
+        assert sorted(by_site) == [0, 1]
+        assert [f.seq for f in by_site[1]] == [0, 1]
+        assert health == []
+
+    def test_health_events_are_deduplicated_and_sorted(self, tmp_path):
+        event = HealthEvent(time=2.0, site=1, kind="peer_dead",
+                            verdict="fail", peer=0)
+        earlier = HealthEvent(time=1.0, site=2, kind="causal_stall",
+                              verdict="warn")
+        (tmp_path / "telemetry_1.jsonl").write_text(
+            event.to_json() + "\n" + earlier.to_json() + "\n"
+        )
+        (tmp_path / "telemetry_0.jsonl").write_text(event.to_json() + "\n")
+        _by_site, health = scan_dir(tmp_path)
+        assert health == [earlier, event]
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        good = frame_at(1, 0)
+        (tmp_path / "telemetry_1.jsonl").write_text(
+            good.to_json() + "\n" + '{"rec": "frame", "sit'
+        )
+        header, frames, health = read_telemetry(tmp_path / "telemetry_1.jsonl")
+        assert frames == [good]
+        assert header == {} and health == []
+
+
+class TestAggregate:
+    def test_latest_frame_per_site_wins(self):
+        by_site = {
+            0: [frame_at(0, 0, ops_executed=2), frame_at(0, 3, ops_executed=9)],
+            1: [frame_at(1, 1, ops_executed=5)],
+        }
+        snapshot = aggregate(by_site)
+        assert snapshot.sites == [0, 1]
+        assert snapshot.ops_executed == {0: 9, 1: 5}
+        assert snapshot.time == 3.0  # the newest latest-frame time
+
+    def test_sums_and_maxima(self):
+        by_site = {
+            0: [frame_at(0, 0, holdback_depth=1, holdback_high_water=4,
+                         inflight=2, retransmits=3, storage_ints=7,
+                         queue_depth=5, epoch=1, ops_generated=6)],
+            1: [frame_at(1, 0, holdback_depth=2, holdback_high_water=3,
+                         inflight=1, retransmits=1, storage_ints=4,
+                         queue_depth=2, epoch=0, ops_generated=3)],
+        }
+        snapshot = aggregate(by_site)
+        assert snapshot.holdback_depth == 3
+        assert snapshot.holdback_high_water == 4  # worst single buffer
+        assert snapshot.inflight == 3
+        assert snapshot.retransmits == 4
+        assert snapshot.storage_ints == 11
+        assert snapshot.queue_depth == 7
+        assert snapshot.epoch == 1
+        assert snapshot.ops_generated == 9
+
+    def test_digest_divergence_only_among_complete_replicas(self):
+        behind = frame_at(1, 0, ops_executed=3, digest="bbb")
+        complete_a = frame_at(0, 0, ops_executed=9, digest="aaa")
+        assert aggregate({0: [complete_a], 1: [behind]}).digests_agree
+        complete_b = frame_at(1, 1, ops_executed=9, digest="bbb")
+        snapshot = aggregate({0: [complete_a], 1: [complete_b]})
+        assert not snapshot.digests_agree
+        assert "DIVERGED" in snapshot.line()
+
+    def test_line_renders_health_events(self):
+        snapshot = aggregate(
+            {0: [frame_at(0, 0)]},
+            [HealthEvent(time=1.0, site=2, kind="peer_dead", verdict="fail",
+                         peer=0, detail="gone")],
+        )
+        text = snapshot.line(expected_sites=4)
+        assert "sites=1/4" in text
+        assert "health: [fail] site 2 peer_dead (peer 0): gone" in text
+
+
+class TestRegistries:
+    def test_site_registry_counts_latest_and_observes_every_frame(self):
+        frames = [
+            frame_at(1, 0, ops_executed=2, holdback_depth=1, retransmits=0),
+            frame_at(1, 1, ops_executed=5, holdback_depth=3, retransmits=2),
+        ]
+        registry = site_registry(frames)
+        counters = registry.counters()
+        assert counters["telemetry.ops_executed"] == 5  # latest, not summed
+        assert counters["telemetry.retransmits"] == 2
+        assert counters["telemetry.frames"] == 2
+        assert sorted(registry.histograms()["telemetry.holdback_depth"].values) \
+            == [1.0, 3.0]
+
+    def test_merged_registry_sums_across_sites(self):
+        by_site = {
+            0: [frame_at(0, 0, ops_executed=4)],
+            1: [frame_at(1, 0, ops_executed=6)],
+        }
+        merged = merged_registry(by_site)
+        assert merged.counters()["telemetry.ops_executed"] == 10
+        assert merged.counters()["telemetry.frames"] == 2
+        assert merged.histograms()["telemetry.queue_depth"].count == 2
+
+
+class TestRunMonitor:
+    def test_once_mode_emits_a_line_and_writes_the_artifact(self, tmp_path):
+        write_stream(tmp_path / "telemetry_0.jsonl",
+                     [frame_at(0, 0, ops_executed=9)])
+        lines: list[str] = []
+        code = run_monitor(tmp_path, once=True, expect_sites=4,
+                           emit=lines.append)
+        assert code == 0
+        assert len(lines) == 1 and "sites=1/4" in lines[0]
+        artifact = (tmp_path / "monitor.jsonl").read_text().splitlines()
+        header = json.loads(artifact[0])
+        assert header["format"] == MONITOR_FORMAT
+        records = [json.loads(line) for line in artifact[1:]]
+        kinds = [r["rec"] for r in records]
+        assert kinds == ["interval", "metrics"]
+        assert records[0]["ops_executed"] == {"0": 9}
+        assert records[1]["counters"]["telemetry.ops_executed"] == 9
+
+    def test_no_telemetry_at_all_exits_1(self, tmp_path):
+        assert run_monitor(tmp_path, once=True, emit=lambda _: None) == 1
+
+    def test_fail_health_verdict_exits_2(self, tmp_path):
+        stream = (tmp_path / "telemetry_1.jsonl")
+        event = HealthEvent(time=1.0, site=1, kind="peer_dead",
+                            verdict="fail", peer=0)
+        stream.write_text(frame_at(1, 0).to_json() + "\n"
+                          + event.to_json() + "\n")
+        code = run_monitor(tmp_path, once=True, emit=lambda _: None)
+        assert code == 2
+        records = [json.loads(line) for line
+                   in (tmp_path / "monitor.jsonl").read_text().splitlines()[1:]]
+        health = [r for r in records if r["rec"] == "health"]
+        assert [h["kind"] for h in health] == ["peer_dead"]
+
+    def test_live_loop_stops_once_streams_go_idle(self, tmp_path):
+        write_stream(tmp_path / "telemetry_0.jsonl", [frame_at(0, 0)])
+        clock = {"t": 0.0}
+
+        def sleep(seconds: float) -> None:
+            clock["t"] += seconds
+
+        code = run_monitor(tmp_path, interval_s=0.1, emit=lambda _: None,
+                           clock=lambda: clock["t"], sleep=sleep)
+        assert code == 0  # returned on its own: idle detection worked
