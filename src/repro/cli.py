@@ -450,6 +450,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             timeout_s=min(args.timeout, 20.0) if args.quick else args.timeout,
             telemetry_interval_s=args.telemetry_interval,
             crash_notifier_after_s=args.crash_notifier_after,
+            failover=not args.no_failover,
+            degraded_limit=args.degraded_limit,
         )
     except ValueError as exc:
         print(f"invalid cluster config: {exc}", file=sys.stderr)
@@ -743,7 +745,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="S",
         help="fault injection: hard-kill the notifier process after S "
-        "seconds (it dumps its flight recorder first)",
+        "seconds (it dumps its flight recorder first); with failover "
+        "on, the surviving clients re-elect and the run still converges",
+    )
+    p_cluster.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="disable live failover: clients open no listening sockets "
+        "and a notifier crash is terminal (flight recorders + salvage)",
+    )
+    p_cluster.add_argument(
+        "--degraded-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max local edits each client queues while the star is "
+        "leaderless during failover (0 = drop them; default 64)",
     )
     p_cluster.add_argument(
         "--out",

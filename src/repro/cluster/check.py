@@ -188,6 +188,15 @@ class ClusterReport:
     latency_p95_s: Optional[float] = None
     wall_s: float = 0.0
     errors: list[str] = field(default_factory=list)
+    #: The run crossed a notifier-epoch boundary by live failover: the
+    #: dead centre left no result artifact (only its streamed trace) and
+    #: survivors receive the successor's unacknowledged operations via
+    #: the failover snapshot rather than as executions, so the
+    #: per-replica executed-op floor does not apply.
+    failover_run: bool = False
+    #: Human-readable context rendered with the summary but not part of
+    #: the verdict (e.g. which artifacts a crashed site left behind).
+    notes: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -197,7 +206,9 @@ class ClusterReport:
             and self.check_disagreements == 0
             and self.bad_releases == 0
             and self.cross_check.ok
-            and all(n >= self.expected_ops for n in self.executed_ops.values())
+            and (self.failover_run
+                 or all(n >= self.expected_ops
+                        for n in self.executed_ops.values()))
             and not self.errors
         )
 
@@ -220,6 +231,7 @@ class ClusterReport:
                 f"  op latency: p50 {self.latency_p50_s * 1e3:.1f} ms, "
                 f"p95 {self.latency_p95_s * 1e3:.1f} ms"
             )
+        lines.extend(f"  note: {note}" for note in self.notes)
         lines.extend(f"  error: {err}" for err in self.errors)
         return "\n".join(lines)
 
@@ -231,6 +243,8 @@ def analyze_cluster(
     expected_ops: int,
     n_sites: int,
     wall_s: float = 0.0,
+    failover_run: bool = False,
+    notes: Sequence[str] = (),
 ) -> ClusterReport:
     """Run every verdict over the artifacts of one cluster run."""
     documents = {r.site: r.document for r in results}
@@ -269,4 +283,6 @@ def analyze_cluster(
         latency_p95_s=p95,
         wall_s=wall_s,
         errors=errors,
+        failover_run=failover_run,
+        notes=list(notes),
     )

@@ -12,19 +12,35 @@ matter how broadcasts interleave.
 The editor object is the stock
 :class:`~repro.editor.star_client.StarClient` on the wall-clock
 scheduler; edits fire from scheduler timers, remote operations arrive
-through the frame pump.  The client is done when it has executed every
-expected operation (its own plus every transformed broadcast); it then
-settles briefly so trailing acknowledgements flush and hangs up -- the
-EOF is its completion signal to the notifier.
+through the frame pump.  Completion is protocol-driven: the client
+announces the end of its generation workload with a DRAINED frame and
+waits for the notifier's GOODBYE, whose arrival (TCP FIFO) proves every
+broadcast has already been executed.  An EOF *after* GOODBYE -- or
+after our own SIGTERM -- is a clean teardown, never a peer death.
+
+Failover: unless ``--no-failover``, the client opens its own listening
+socket before dialing and advertises the port in its HELLO; the ROSTER
+frame the notifier broadcasts back is the membership directory.  An EOF
+*before* GOODBYE then triggers live failover instead of giving up: the
+lowest-numbered roster site waits for the survivors to dial in and
+promotes itself to the epoch-1 notifier (stock editor-layer election /
+promotion / state-contribution machinery, carried as DATA frames);
+every other survivor re-dials the successor with capped exponential
+backoff, resynchronises from a failover snapshot, re-announces DRAINED
+and finishes the workload under the new centre.  Local edits typed
+while the star is leaderless queue in the client's bounded
+degraded-mode buffer (``--degraded-limit``) and replay after the
+baseline lands.
 
 Observability: with ``--telemetry-interval`` the client samples its own
 gauges into ``telemetry_<site>.jsonl`` and *gossips* every frame to the
-notifier as a TELEMETRY wire frame (piggybacked on the existing
-connection; older readers ignore the tag).  An EOF on the pump before
-the run is done means the notifier died: the client records a
-``peer_dead`` health event -- the live dead-peer flag, written before
-the run ends -- dumps its flight recorder, and gives up rather than
-waiting out the full timeout.
+current centre as a TELEMETRY wire frame (piggybacked on the existing
+connection; older readers ignore the tag).  Failover progress --
+``peer_dead`` (warn), re-homing, election, promotion -- lands in the
+same stream as ``warn``-verdict health events, so the monitor shows an
+epoch transition rather than a terminal crash.  ``fail`` verdicts and
+flight-recorder dumps are reserved for genuinely terminal deaths: no
+roster, no failover, or the successor dying too.
 """
 
 from __future__ import annotations
@@ -36,6 +52,7 @@ import signal
 from pathlib import Path
 from typing import Optional
 
+from repro.cluster.failover import WireFailover
 from repro.cluster.harness import (
     ClusterConfig,
     add_common_args,
@@ -52,6 +69,8 @@ from repro.net.transport import Envelope
 from repro.net.wire import (
     WireChannel,
     WireError,
+    connect_with_backoff,
+    encode_drained,
     encode_hello,
     encode_telemetry_frame,
     frame,
@@ -84,23 +103,54 @@ async def run_client(config: ClusterConfig, site: int, port: int,
         tracer=tracer,
     )
     recorder = FlightRecorder(tracer)
-    reader, writer = await asyncio.open_connection(config.host, port)
-    writer.write(frame(encode_hello(site)))
-    await writer.drain()
-    client.attach_channel(0, WireChannel(sched, site, 0, writer))
-
-    session_config = config.session_config()
-    intents = [i for i in generate_random_edits(session_config) if i.site == site]
-    done = asyncio.Event()
-    remaining = len(intents)
-    peer_dead = False
-    killed = False
 
     def dump_flight(reason: str) -> None:
         recorder.dump(flight_path(out_dir, site), reason=reason, site=site,
                       role="client")
 
     telem: Optional[JsonlWriter] = None
+
+    def health(kind: str, detail: str, *, verdict: str = "warn",
+               peer: Optional[int] = None) -> None:
+        if telem is not None:
+            telem.write_line(HealthEvent(
+                time=sched.now, site=site, kind=kind, verdict=verdict,
+                peer=peer, detail=detail,
+            ).to_json())
+
+    coordinator: Optional[WireFailover] = None
+    if config.failover:
+        coordinator = WireFailover(config, sched, client, log=health)
+        # The coordinator *is* the client's failover manager: the stock
+        # editor-layer election/promotion machinery drives it, over
+        # sockets instead of an in-process topology.
+        client.failover = coordinator
+        client._track_failover = True
+        client.degraded_limit = config.degraded_limit
+        await coordinator.start_listener()
+
+    listen_port = coordinator.listen_port if coordinator is not None else 0
+    reader, writer = await connect_with_backoff(config.host, port, seed=site)
+    writer.write(frame(encode_hello(site, listen_port)))
+    await writer.drain()
+    client.attach_channel(0, WireChannel(sched, site, 0, writer))
+    # The *current* centre connection (writer + the centre pid it leads
+    # to): gossip and DRAINED frames follow it as failover re-homes the
+    # spoke.
+    center_writer: dict[str, object] = {"w": writer, "pid": 0}
+
+    session_config = config.session_config()
+    intents = [i for i in generate_random_edits(session_config) if i.site == site]
+    done = asyncio.Event()
+    goodbye = asyncio.Event()
+    remaining = len(intents)
+    drained_sent: set[int] = set()
+    peer_dead = False
+    killed = False
+
+    if coordinator is not None:
+        coordinator.workload_remaining = lambda: remaining
+
     sampler: Optional[TelemetrySampler] = None
     if config.telemetry_enabled:
         stream = telemetry_writer(out_dir, site, "client")
@@ -108,15 +158,25 @@ async def run_client(config: ClusterConfig, site: int, port: int,
 
         def on_frame(tframe: TelemetryFrame) -> None:
             stream.write_line(tframe.to_json())
-            # Gossip the frame to the notifier over the data connection;
-            # a readerless/dying socket must never take sampling down.
+            # Gossip the frame to the current centre over the data
+            # connection; a readerless/dying socket must never take
+            # sampling down.
+            w = center_writer["w"]
+            if not isinstance(w, asyncio.StreamWriter) or w.is_closing():
+                return
             try:
-                writer.write(frame(encode_telemetry_frame(tframe)))
+                w.write(frame(encode_telemetry_frame(tframe)))
             except (ConnectionError, RuntimeError):
                 pass
 
         def probe(seq: int) -> list[TelemetryFrame]:
-            return [snapshot_endpoint(client, sched=sched, seq=seq,
+            # After promotion the live state (document, SV_0, epoch)
+            # belongs to the promoted notifier; sampling the stale
+            # client shell would freeze the digest at the crash point.
+            target = (client._promoted_to
+                      if client.promoted and client._promoted_to is not None
+                      else client)
+            return [snapshot_endpoint(target, sched=sched, seq=seq,
                                       role="client")]
 
         sampler = TelemetrySampler(
@@ -124,18 +184,55 @@ async def run_client(config: ClusterConfig, site: int, port: int,
             on_frame=on_frame, keep=False,
         )
         sampler.start()
+        if coordinator is not None:
+            # On the successor, surviving members gossip their frames to
+            # us: fold them into our own stream so the monitor keeps
+            # seeing every site across the epoch boundary.
+            coordinator.on_member_telemetry = sampler.feed
 
-    def maybe_done() -> None:
-        if remaining == 0 and len(client.executed_op_ids) >= config.total_ops:
-            done.set()
+    def maybe_send_drained() -> None:
+        """Announce workload completion to the *current* centre, once.
+
+        DRAINED promises "every operation I will ever send is already on
+        this stream" -- so it must wait out the degraded queue and any
+        failover replay, and must be re-announced to a new centre after
+        re-homing (the promise is per-connection, not global).
+        """
+        if remaining > 0 or not client.active or client.promoted:
+            return
+        if (client._promoting or client._failover_pending
+                or client._degraded_queue or client._failover_stash):
+            return
+        center = client.center
+        if center != center_writer["pid"]:
+            # Mid-failover skew: the spoke already points at the
+            # successor's socket but the editor has not re-homed (or
+            # vice versa).  A DRAINED now would precede the stash
+            # replay on the same stream -- a false promise.
+            return
+        if center in drained_sent:
+            return
+        w = center_writer["w"]
+        assert isinstance(w, asyncio.StreamWriter)
+        if w.is_closing():
+            return
+        try:
+            w.write(frame(encode_drained(site)))
+        except (ConnectionError, RuntimeError):
+            return
+        drained_sent.add(center)
 
     def fire(seed: int) -> None:
         nonlocal remaining
         rng = random.Random(seed)
-        client.generate(random_positional_op(rng, client.document,
-                                             session_config))
+        doc = (client._promoted_to.document
+               if client.promoted and client._promoted_to is not None
+               else client.document)
+        client.generate(random_positional_op(rng, doc, session_config))
         remaining -= 1
-        maybe_done()
+        maybe_send_drained()
+        if coordinator is not None:
+            coordinator.note_progress()
 
     for intent in intents:
         sched.schedule(intent.time * config.time_scale,
@@ -143,7 +240,11 @@ async def run_client(config: ClusterConfig, site: int, port: int,
 
     def on_envelope(envelope: Envelope) -> None:
         client.on_message(envelope)
-        maybe_done()
+        maybe_send_drained()
+
+    def on_goodbye() -> None:
+        goodbye.set()
+        done.set()
 
     def on_sigterm() -> None:
         nonlocal killed
@@ -159,25 +260,63 @@ async def run_client(config: ClusterConfig, site: int, port: int,
     except (NotImplementedError, ValueError):  # pragma: no cover - non-Unix
         pass
 
-    async def pump_loop() -> None:
+    def terminal_peer_death(detail: str, peer: int) -> None:
         nonlocal peer_dead
-        try:
-            await pump(reader, on_envelope)
-        except (WireError, ConnectionError):
-            pass
-        if done.is_set():
-            return
-        # EOF with the run unfinished: the notifier is gone, and no
-        # further progress is possible.  Flag it live, preserve the
-        # evidence, and stop waiting.
         peer_dead = True
-        if telem is not None:
-            telem.write_line(HealthEvent(
-                time=sched.now, site=site, kind="peer_dead", verdict="fail",
-                peer=0, detail="connection to notifier closed mid-run",
-            ).to_json())
+        health("peer_dead", detail, verdict="fail", peer=peer)
         dump_flight("peer-death")
         done.set()
+
+    async def handle_center_loss() -> None:
+        """The centre connection died before GOODBYE: fail over or fail."""
+        dead = client.center
+        if coordinator is None or not coordinator.eligible():
+            terminal_peer_death(
+                "connection to notifier closed mid-run (failover "
+                "unavailable)", dead,
+            )
+            return
+        health("peer_dead",
+               f"connection to notifier {dead} closed mid-run; re-electing",
+               peer=dead)
+        if coordinator.is_successor():
+            # We are the new centre: collect the survivors, promote, and
+            # stay up until the coordinator has said GOODBYE to all.
+            await coordinator.takeover()
+            done.set()
+            return
+        try:
+            new_reader, new_writer, successor = await coordinator.rejoin()
+        except (WireError, ConnectionError):
+            terminal_peer_death(
+                "could not reach the elected successor", dead,
+            )
+            return
+        center_writer["w"] = new_writer
+        center_writer["pid"] = successor
+        try:
+            await pump(new_reader, on_envelope, on_goodbye=on_goodbye)
+        except (WireError, ConnectionError):
+            pass
+        if done.is_set() or goodbye.is_set() or killed:
+            return
+        # The successor died too: one live takeover is the contract.
+        terminal_peer_death("successor connection closed mid-run",
+                            client.center)
+
+    async def pump_loop() -> None:
+        try:
+            await pump(
+                reader, on_envelope,
+                on_roster=(coordinator.observe_roster
+                           if coordinator is not None else None),
+                on_goodbye=on_goodbye,
+            )
+        except (WireError, ConnectionError):
+            pass
+        if done.is_set() or goodbye.is_set() or killed:
+            return  # clean teardown: GOODBYE (or our own shutdown) came first
+        await handle_center_loss()
 
     pump_task = asyncio.ensure_future(pump_loop())
     timed_out = False
@@ -204,19 +343,32 @@ async def run_client(config: ClusterConfig, site: int, port: int,
         sampler.sample()
     if telem is not None:
         telem.close()
-    writer.close()
-    try:
-        await writer.wait_closed()
-    except ConnectionError:
-        pass
-    channel = client.out_channels[0]
-    write_artifacts(
-        out_dir,
-        endpoint_result("client", client, timed_out=timed_out,
-                        messages_sent=channel.stats.messages,
-                        wire_bytes=channel.stats.total_bytes),
-        tracer,
-    )
+    if coordinator is not None:
+        await coordinator.close()
+    open_writers = [writer]
+    if isinstance(center_writer["w"], asyncio.StreamWriter):
+        open_writers.append(center_writer["w"])
+    for w in {id(w): w for w in open_writers}.values():
+        w.close()
+        try:
+            await w.wait_closed()
+        except ConnectionError:
+            pass
+    messages = sum(ch.stats.messages for ch in client.out_channels.values())
+    wire_bytes = sum(ch.stats.total_bytes for ch in client.out_channels.values())
+    result = endpoint_result("client", client, timed_out=timed_out,
+                             messages_sent=messages, wire_bytes=wire_bytes)
+    if (client.promoted and coordinator is not None
+            and coordinator.notifier is not None):
+        # The promoted shell's replica froze at the takeover; the live
+        # run continued inside the epoch-1 notifier.  Report the merged
+        # view: its document, both execution logs, both check sets.
+        notifier = coordinator.notifier
+        result.document = str(notifier.document)
+        result.executed_ops = (len(client.executed_op_ids)
+                               + len(notifier.executed_op_ids))
+        result.checks = list(client.checks) + list(notifier.checks)
+    write_artifacts(out_dir, result, tracer)
     return not timed_out
 
 

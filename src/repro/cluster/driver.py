@@ -37,7 +37,8 @@ from typing import IO, Optional
 
 import repro
 from repro.cluster.check import ClusterReport, analyze_cluster
-from repro.cluster.harness import ClusterConfig, read_artifacts
+from repro.cluster.harness import ClusterConfig, read_artifacts, trace_path
+from repro.obs.tracer import TraceEvent, read_jsonl
 
 SPAWN_RETRIES = 3
 PORT_ANNOUNCE_TIMEOUT_S = 15.0
@@ -115,6 +116,21 @@ def _kill_switch(proc: "subprocess.Popen[str]") -> None:
         proc.wait()
 
 
+def _salvage_trace(out_dir: Path, site: int) -> list[TraceEvent]:
+    """The streamed trace a crashed process left, or nothing at all.
+
+    Read leniently: a process killed mid-write leaves at most one torn
+    trailing line, and the readable prefix is still evidence.
+    """
+    path = trace_path(out_dir, site)
+    try:
+        with path.open() as fh:
+            _header, events = read_jsonl(fh, lenient=True)
+    except OSError:
+        return []
+    return events
+
+
 def salvage_artifacts(out_dir: Path) -> list[str]:
     """The observability files a failed run left behind, by name.
 
@@ -170,12 +186,30 @@ def run_cluster(
                 _kill_switch(proc)
     wall_s = time.monotonic() - started
 
+    # With failover armed, the crashed notifier *by design* leaves no
+    # result artifact -- only its streamed trace, which the merged-trace
+    # cross-check still needs (the pre-crash generation events anchor
+    # happens-before across the epoch boundary).
+    failover_run = (config.crash_notifier_after_s is not None
+                    and config.failover)
+    notes: list[str] = []
     results = []
     streams = []
     for site in range(config.clients + 1):
         try:
             result, events = read_artifacts(out_dir, site)
         except (OSError, ValueError) as exc:
+            if site == 0 and failover_run:
+                events = _salvage_trace(out_dir, site)
+                if events:
+                    streams.append(events)
+                notes.append(
+                    "site 0 was crashed by fault injection and the cluster "
+                    f"failed over live; merged {len(events)} streamed trace "
+                    "events from the dead centre (no result artifact, as "
+                    "designed)"
+                )
+                continue
             salvaged = salvage_artifacts(out_dir)
             note = (
                 f"; salvaged observability artifacts: {', '.join(salvaged)}"
@@ -193,6 +227,8 @@ def run_cluster(
         expected_ops=config.total_ops,
         n_sites=config.clients,
         wall_s=wall_s,
+        failover_run=failover_run,
+        notes=notes,
     )
     if kill_switched:
         salvaged = salvage_artifacts(out_dir)

@@ -23,6 +23,7 @@ from repro.obs.tracer import (
     TraceEvent,
     Tracer,
     read_jsonl,
+    trace_header,
     write_jsonl,
 )
 from repro.session.base import CheckRecord
@@ -57,8 +58,18 @@ class ClusterConfig:
     #: Wall seconds between telemetry samples; 0 disables telemetry.
     telemetry_interval_s: float = 0.0
     #: Fault injection: hard-kill the notifier process (after a
-    #: flight-recorder dump) this many wall seconds into the run.
+    #: flight-recorder dump) this many wall seconds after every client
+    #: has connected -- counted from full connection, not process
+    #: start, so the timing is deterministic relative to the workload.
     crash_notifier_after_s: Optional[float] = None
+    #: Live failover: every client opens its own listening socket and a
+    #: notifier crash triggers cluster-wide re-election instead of an
+    #: early exit.  Off = the pre-failover behaviour (crash is terminal,
+    #: flight recorders dumped, driver salvages).
+    failover: bool = True
+    #: Degraded-mode bound: local edits queued per client while the star
+    #: is leaderless.  0 drops such edits (the simulator's semantics).
+    degraded_limit: int = 64
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -74,6 +85,10 @@ class ClusterConfig:
         if self.crash_notifier_after_s is not None and self.crash_notifier_after_s <= 0:
             raise ValueError(
                 f"crash-notifier delay must be positive: {self.crash_notifier_after_s}"
+            )
+        if self.degraded_limit < 0:
+            raise ValueError(
+                f"degraded-mode queue bound must be >= 0: {self.degraded_limit}"
             )
 
     @property
@@ -115,6 +130,9 @@ class ClusterConfig:
             args.extend(["--telemetry-interval", str(self.telemetry_interval_s)])
         if self.crash_notifier_after_s is not None:
             args.extend(["--crash-notifier-after", str(self.crash_notifier_after_s)])
+        if not self.failover:
+            args.append("--no-failover")
+        args.extend(["--degraded-limit", str(self.degraded_limit)])
         return args
 
 
@@ -197,6 +215,32 @@ def telemetry_writer(out_dir: Path, site: int, role: str) -> JsonlWriter:
     })
 
 
+def streaming_trace_writer(
+    out_dir: Path, site: int, role: str, tracer: Tracer,
+) -> JsonlWriter:
+    """Persist ``tracer``'s events to disk incrementally, as emitted.
+
+    The one-shot :func:`write_artifacts` path loses the whole trace when
+    a process dies by ``os._exit`` (the injected notifier crash does
+    exactly that) -- but the merged-trace cross-check needs the dead
+    centre's generation events to keep happens-before EXACT across a
+    failover.  Streaming through a flush-per-line
+    :class:`~repro.obs.tracer.JsonlWriter` means every event emitted
+    before the kill is already on disk.  Events emitted before the
+    stream opened are back-filled first, then the tracer's sink is
+    bound so later emissions append live.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    writer = JsonlWriter(
+        trace_path(out_dir, site),
+        trace_header({"site": site, "role": role}),
+    )
+    for event in tracer.events:
+        writer.write_event(event)
+    tracer.bind_sink(writer.write_event)
+    return writer
+
+
 def endpoint_result(
     role: str,
     endpoint: "StarNotifier | StarClient",
@@ -220,17 +264,21 @@ def endpoint_result(
     )
 
 
-def write_artifacts(out_dir: Path, result: ProcessResult, tracer: Tracer) -> None:
+def write_artifacts(out_dir: Path, result: ProcessResult, tracer: Tracer,
+                    *, trace_streamed: bool = False) -> None:
     """Write the process's result JSON and trace JSONL atomically enough.
 
     Artifacts are written once, at the end of the run, so a crash mid-run
     leaves *no* file rather than a torn one -- the driver treats a
-    missing artifact as a failed process.
+    missing artifact as a failed process.  With ``trace_streamed`` the
+    trace already lives on disk via :func:`streaming_trace_writer` and
+    only the result JSON is written here.
     """
     out_dir.mkdir(parents=True, exist_ok=True)
-    with trace_path(out_dir, result.site).open("w") as fh:
-        write_jsonl(tracer.events, fh, header={"site": result.site,
-                                               "role": result.role})
+    if not trace_streamed:
+        with trace_path(out_dir, result.site).open("w") as fh:
+            write_jsonl(tracer.events, fh, header={"site": result.site,
+                                                   "role": result.role})
     result_path(out_dir, result.site).write_text(result.to_json() + "\n")
 
 
@@ -263,8 +311,19 @@ def add_common_args(parser: Any) -> None:
     )
     parser.add_argument(
         "--crash-notifier-after", type=float, default=None, metavar="S",
-        help="fault injection: hard-kill the notifier process after S "
-        "seconds (it dumps its flight recorder first)",
+        help="fault injection: hard-kill the notifier process S seconds "
+        "after every client has connected (it dumps its flight "
+        "recorder first)",
+    )
+    parser.add_argument(
+        "--no-failover", action="store_true",
+        help="disable live failover: clients open no listening sockets "
+        "and a notifier crash is terminal (flight recorders, salvage)",
+    )
+    parser.add_argument(
+        "--degraded-limit", type=int, default=64, metavar="N",
+        help="max local edits queued per client while the star is "
+        "leaderless (0 = drop them)",
     )
     parser.add_argument("--out", required=True, help="artifact directory")
 
@@ -281,4 +340,6 @@ def config_from_args(args: Any) -> ClusterConfig:
         timeout_s=args.timeout,
         telemetry_interval_s=args.telemetry_interval,
         crash_notifier_after_s=args.crash_notifier_after,
+        failover=not args.no_failover,
+        degraded_limit=args.degraded_limit,
     )

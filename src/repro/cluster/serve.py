@@ -7,12 +7,22 @@ serves the paper's notifier role to ``N`` dialing clients.  The editor
 object is the stock :class:`~repro.editor.star_notifier.StarNotifier`;
 the only cluster-specific code is the socket plumbing around it.
 
-Termination: the run is complete when the notifier has executed every
-expected operation *and* every client has disconnected (each client
-hangs up only after converging, so EOF doubles as the client's
-completion signal).  A hard timeout bounds the wait; on expiry the
-artifacts are written with ``timed_out`` set so the driver fails the
-run instead of diagnosing a hang.
+Membership: each client's HELLO frame carries the port of its *own*
+listening socket (0 when failover is disabled).  Once every client is
+connected, the notifier broadcasts the full table as a ROSTER frame --
+the directory survivors use to elect and dial a successor if this
+process dies (see :mod:`repro.cluster.failover`).
+
+Termination: each client announces the end of its *generation* workload
+with a DRAINED frame; TCP FIFO ordering means every operation a client
+will ever send has been ingested (and its transforms broadcast) by the
+time its DRAINED arrives.  When all clients have drained, the notifier
+broadcasts GOODBYE -- again by FIFO, each client has executed every
+broadcast by the time it reads the GOODBYE -- and waits for the clients
+to hang up.  An EOF *after* GOODBYE is therefore a clean teardown, not
+a peer death.  A hard timeout bounds the wait; on expiry the artifacts
+are written with ``timed_out`` set so the driver fails the run instead
+of diagnosing a hang.
 
 Observability: with ``--telemetry-interval`` the notifier runs a
 :class:`~repro.obs.telemetry.TelemetrySampler` on its scheduler,
@@ -24,7 +34,10 @@ emitting structured ``health`` records into the same stream.  A
 :class:`~repro.obs.telemetry.FlightRecorder` dumps the recent trace
 tail to ``flight_0.jsonl`` on the driver's kill-switch (SIGTERM), on
 timeout, and on the injected ``--crash-notifier-after`` fault (which
-then hard-exits without writing artifacts, like a real crash).
+then hard-exits without writing artifacts, like a real crash).  The
+trace itself streams to ``trace_0.jsonl`` as events are emitted, so
+the injected crash still leaves the generation events the driver's
+merged-trace cross-check needs to stay EXACT across a failover.
 """
 
 from __future__ import annotations
@@ -42,6 +55,7 @@ from repro.cluster.harness import (
     config_from_args,
     endpoint_result,
     flight_path,
+    streaming_trace_writer,
     telemetry_writer,
     wall_clock_tracer,
     write_artifacts,
@@ -49,7 +63,18 @@ from repro.cluster.harness import (
 from repro.editor.star_notifier import StarNotifier
 from repro.net.scheduler import AsyncioScheduler
 from repro.net.transport import Envelope
-from repro.net.wire import WireChannel, WireError, decode_frame, pump, read_frame
+from repro.net.wire import (
+    Drained,
+    Hello,
+    WireChannel,
+    WireError,
+    decode_frame,
+    encode_goodbye,
+    encode_roster,
+    frame,
+    pump,
+    read_frame,
+)
 from repro.obs.telemetry import (
     FlightRecorder,
     HealthEvent,
@@ -76,9 +101,14 @@ async def serve(config: ClusterConfig, out_dir: Path,
         tracer=tracer,
     )
     recorder = FlightRecorder(tracer)
+    trace_stream = streaming_trace_writer(out_dir, 0, "notifier", tracer)
     done = asyncio.Event()
     all_connected = asyncio.Event()
+    writers: dict[int, asyncio.StreamWriter] = {}
+    listen_ports: dict[int, int] = {}
+    drained: set[int] = set()
     disconnected: set[int] = set()
+    goodbye_sent = False
     killed = False
 
     telem: Optional[JsonlWriter] = None
@@ -113,8 +143,20 @@ async def serve(config: ClusterConfig, out_dir: Path,
         sampler.start()
 
     def maybe_done() -> None:
-        complete = len(notifier.executed_op_ids) >= config.total_ops
-        if complete and len(disconnected) >= config.clients:
+        # Completion rides on the DRAINED protocol: a client's DRAINED
+        # frame (TCP FIFO) proves every op it will ever generate has
+        # been ingested and its transforms broadcast.  All clients
+        # drained => every broadcast is on the wire => GOODBYE, then
+        # wait for the clean EOFs before closing up shop.
+        nonlocal goodbye_sent
+        if len(drained) >= config.clients and not goodbye_sent:
+            goodbye_sent = True
+            for w in writers.values():
+                try:
+                    w.write(frame(encode_goodbye()))
+                except (ConnectionError, RuntimeError):
+                    pass
+        if goodbye_sent and len(disconnected) >= config.clients:
             done.set()
 
     async def handle(reader: asyncio.StreamReader,
@@ -123,11 +165,21 @@ async def serve(config: ClusterConfig, out_dir: Path,
         if hello is None:
             writer.close()
             return
-        pid = decode_frame(hello)
-        if not isinstance(pid, int):
+        decoded = decode_frame(hello)
+        if not isinstance(decoded, Hello):
             raise WireError("expected a HELLO frame to open the connection")
+        pid = decoded.pid
+        writers[pid] = writer
+        listen_ports[pid] = decoded.listen_port
         notifier.attach_channel(pid, WireChannel(sched, 0, pid, writer))
         if len(notifier.out_channels) >= config.clients:
+            # Everyone is here: publish the membership directory before
+            # any operation is pumped, so every client holds the roster
+            # it would need to elect a successor -- broadcast first,
+            # then release the pumps (TCP FIFO puts ROSTER ahead of any
+            # DATA broadcast on each spoke).
+            for w in writers.values():
+                w.write(frame(encode_roster(listen_ports)))
             all_connected.set()
         # Hold this connection's pump until every client has a channel:
         # executing an early op would broadcast into a not-yet-attached
@@ -136,14 +188,18 @@ async def serve(config: ClusterConfig, out_dir: Path,
 
         def on_envelope(envelope: Envelope) -> None:
             notifier.on_message(envelope)
-            maybe_done()
 
         def on_telemetry(frame: TelemetryFrame) -> None:
             if sampler is not None:
                 sampler.feed(frame)
 
+        def on_drained(d: Drained) -> None:
+            drained.add(d.site)
+            maybe_done()
+
         try:
-            await pump(reader, on_envelope, on_telemetry=on_telemetry)
+            await pump(reader, on_envelope, on_telemetry=on_telemetry,
+                       on_drained=on_drained)
         except (WireError, ConnectionError):
             pass  # a killed client counts as disconnected, not as a crash here
         finally:
@@ -175,18 +231,30 @@ async def serve(config: ClusterConfig, out_dir: Path,
 
         async def crash() -> None:
             assert config.crash_notifier_after_s is not None
+            # The timer counts from full connection, not process start:
+            # subprocess interpreter startup is hundreds of milliseconds
+            # of noise, and a crash before the roster broadcast would
+            # test "client can't connect", not "cluster loses its
+            # centre mid-run".
+            await all_connected.wait()
             await asyncio.sleep(config.crash_notifier_after_s)
             dump_flight("injected-crash")
             if telem is not None:
+                # With failover armed this death is survivable -- the
+                # monitor should show a warning and then the epoch
+                # transition, not a terminal verdict.
+                verdict = "warn" if config.failover else "fail"
+                detail = ("injected notifier crash (failover armed)"
+                          if config.failover else "injected notifier crash")
                 telem.write_line(HealthEvent(
-                    time=sched.now, site=0, kind="crash", verdict="fail",
-                    detail="injected notifier crash",
+                    time=sched.now, site=0, kind="crash", verdict=verdict,
+                    detail=detail,
                 ).to_json())
                 telem.close()
             # A real crash writes no result artifacts: exit without
-            # passing go.  The flight recorder and the flushed
-            # telemetry stream are all that survives -- which is the
-            # point of having them.
+            # passing go.  The flight recorder, the flushed telemetry
+            # stream, and the streamed trace are all that survives --
+            # which is the point of having them.
             os._exit(70)
 
         crash_task = asyncio.ensure_future(crash())
@@ -225,7 +293,9 @@ async def serve(config: ClusterConfig, out_dir: Path,
         endpoint_result("notifier", notifier, timed_out=timed_out,
                         messages_sent=messages, wire_bytes=wire_bytes),
         tracer,
+        trace_streamed=True,
     )
+    trace_stream.close()
     return not timed_out
 
 

@@ -134,6 +134,14 @@ class StarClient(EditorEndpoint):
         self._buffered_promotion: list[Envelope] = []
         self._awaiting_contrib: set[int] = set()
         self._contributions: dict[int, StateContribution | None] = {}
+        # Degraded-mode survival: with a positive limit, local edits
+        # generated while the star is leaderless (promotion or handoff
+        # in progress) queue here instead of being dropped, bounded so a
+        # chatty user cannot grow memory without bound, and are replayed
+        # exactly once after the successor's baseline is installed.  The
+        # default of 0 preserves the simulator's lossy semantics.
+        self.degraded_limit = 0
+        self._degraded_queue: deque[Any] = deque()
 
     # -- local editing -------------------------------------------------------
 
@@ -153,15 +161,22 @@ class StarClient(EditorEndpoint):
             op_id = op_id or f"c{self.pid}_{next(self._op_ids)}"
             return self._promoted_to.generate_local(op, op_id)
         if not self.active:
-            if (
-                self.transport.crashed
-                or self._recovering
-                or self._failover_pending
-                or self._promoting
-            ):
-                # A user edit during an outage (or a failover window) is
-                # simply lost, like keystrokes into a dead terminal;
-                # count it and move on.
+            if self._failover_pending or self._promoting:
+                if self.degraded_limit > 0:
+                    # Leaderless but alive: queue the edit for replay
+                    # once the successor's baseline lands.
+                    if len(self._degraded_queue) < self.degraded_limit:
+                        self._degraded_queue.append(op)
+                        self.rel_stats.degraded_queued += 1
+                    else:
+                        self.rel_stats.degraded_overflow += 1
+                        self.rel_stats.lost_local_edits += 1
+                    return None
+                self.rel_stats.lost_local_edits += 1
+                return None
+            if self.transport.crashed or self._recovering:
+                # A user edit during an outage is simply lost, like
+                # keystrokes into a dead terminal; count it and move on.
                 self.rel_stats.lost_local_edits += 1
                 return None
             raise RuntimeError(
@@ -423,28 +438,48 @@ class StarClient(EditorEndpoint):
         assert isinstance(transport, ReliableEndpoint)  # failover demands it
         return transport
 
-    def _on_elect(self, epoch: int) -> None:
+    def _abandon_center_link(self, peer: int) -> None:
+        """Void reliability state toward a dead centre, if any exists.
+
+        Over a raw transport (the TCP cluster without ``--reliability``)
+        there is no per-peer link state to void -- the socket EOF already
+        tore the connection down -- so this is a no-op there.
+        """
+        transport = self.transport
+        if isinstance(transport, ReliableEndpoint):
+            transport.abandon_peer(peer)
+
+    def _on_elect(self, epoch: int, confirmed: bool = False) -> None:
         """An ``ElectMessage`` arrived: confirm the suspicion, then promote.
 
-        The election is deduplicated by epoch, and the suspicion is
-        confirmed with a bounded liveness probe before anything
-        irreversible happens -- a retransmit-budget give-up can be a
-        false alarm under pathological (but survivable) loss.
+        The election is deduplicated by epoch.  Over the reliability
+        protocol the suspicion is confirmed with a bounded liveness
+        probe before anything irreversible happens -- a retransmit-budget
+        give-up can be a false alarm under pathological (but survivable)
+        loss.  Over a raw wire transport the trigger is a TCP EOF, which
+        is definitive (the kernel observed the peer's socket close), so
+        promotion starts immediately; a caller that has its own
+        definitive evidence (the cluster coordinator saw the EOF itself)
+        passes ``confirmed`` to skip the probe even over reliability.
         """
         if self.failover is None or self.promoted or self._promoting:
             return
         if self._elect_epoch >= epoch:
             return  # duplicate election signal
         self._elect_epoch = epoch
+        self.rel_stats.elections += 1
         if self.tracer is not None:
             self.tracer.emit(
                 TraceEventKind.ELECTED, self.pid, peer=self.center, epoch=epoch,
             )
-        self._reliable_transport().probe_peer(
-            self.center,
-            on_alive=self._election_aborted,
-            on_dead=self._begin_promotion,
-        )
+        if not confirmed and isinstance(self.transport, ReliableEndpoint):
+            self._reliable_transport().probe_peer(
+                self.center,
+                on_alive=self._election_aborted,
+                on_dead=self._begin_promotion,
+            )
+        else:
+            self._begin_promotion(self.center)
 
     def _election_aborted(self, peer: int) -> None:
         """The centre answered the probe: false alarm, stand down."""
@@ -467,7 +502,7 @@ class StarClient(EditorEndpoint):
         self.active = False
         old_center = self.center
         self._abandoned.add(old_center)
-        self._reliable_transport().abandon_peer(old_center)
+        self._abandon_center_link(old_center)
         # Our own unacknowledged operations are already embodied in our
         # replica -- the promotion baseline; nothing to stash or replay.
         self.pending = deque()
@@ -512,6 +547,32 @@ class StarClient(EditorEndpoint):
         buffered, self._buffered_promotion = self._buffered_promotion, []
         for envelope in buffered:
             notifier._handle_app_message(envelope)
+        # Edits the user typed during the promotion window route into
+        # the promoted notifier's centre-local generation path now.
+        self._drain_degraded_queue()
+
+    def _drain_degraded_queue(self) -> None:
+        """Replay edits queued while leaderless, exactly once each.
+
+        These operations were never timestamped, sent, or given ids --
+        ``generate`` queued the raw edit and returned ``None`` -- so the
+        replay is an ordinary generation against the post-failover
+        replica (fresh ids, fresh timestamps, no dedup concern), with
+        positions clamped to the adopted baseline.
+        """
+        from repro.ot.operations import Operation, OperationError, clamp_to
+
+        queued, self._degraded_queue = self._degraded_queue, deque()
+        for op in queued:
+            replay_op = op
+            if isinstance(replay_op, Operation) and isinstance(self.document, str):
+                replay_op = clamp_to(self.document, replay_op)
+            try:
+                self.generate(replay_op)
+            except OperationError:
+                self.rel_stats.lost_local_edits += 1
+                continue
+            self.rel_stats.degraded_replayed += 1
 
     def _on_promote(self, message: PromoteMessage) -> None:
         """Re-home the spoke to the successor and report our state."""
@@ -520,7 +581,7 @@ class StarClient(EditorEndpoint):
         self.notifier_epoch = message.notifier_epoch
         old_center, self.center = self.center, message.successor
         self._abandoned.add(old_center)
-        self._reliable_transport().abandon_peer(old_center)
+        self._abandon_center_link(old_center)
         # Unacknowledged local operations may or may not be embodied in
         # the successor's baseline; stash them for dedup-and-replay once
         # the failover snapshot arrives.
@@ -603,6 +664,9 @@ class StarClient(EditorEndpoint):
                 self.rel_stats.lost_local_edits += 1
                 continue
             self.rel_stats.replayed_ops += 1
+        # Stashed pendings replayed first (they predate the leaderless
+        # window in program order), then the degraded-mode queue.
+        self._drain_degraded_queue()
 
     # -- crash / recovery -------------------------------------------------------
 
@@ -627,6 +691,7 @@ class StarClient(EditorEndpoint):
         self._incorporated = set()
         self._failover_pending = False
         self._failover_stash = []
+        self._degraded_queue = deque()
 
     def restart(self) -> None:
         """Come back up and resynchronise through the snapshot path.

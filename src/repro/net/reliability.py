@@ -183,6 +183,10 @@ class ReliabilityStats:
     replayed_ops: int = 0  # clients only: pending ops regenerated after failover
     replays_deduped: int = 0  # clients only: pending ops already in the baseline
     stranded_at_crash: int = 0  # unacked data packets voided by go_down()
+    elections: int = 0  # elections this endpoint opened or joined
+    degraded_queued: int = 0  # local edits queued while leaderless
+    degraded_overflow: int = 0  # edits dropped because the degraded queue was full
+    degraded_replayed: int = 0  # queued edits regenerated after promotion
 
 
 @dataclass

@@ -14,10 +14,22 @@ Every frame is ``u32 body-length (big-endian) + body``.  The body is a
 1-byte frame tag followed by tag-specific fields:
 
 * ``HELLO`` -- the first frame on every client connection: the sender's
-  pid, so the accepting side knows which spoke of the star just dialed
-  in.
+  pid plus the port its own failover listener is bound to (0 when the
+  sender accepts no inbound dials), so the accepting side knows which
+  spoke of the star just dialed in and where survivors can reach it if
+  the centre dies.
 * ``DATA`` -- one envelope: source, dest, timestamp-byte accounting,
   optional message id, kind string, then a tagged payload.
+* ``ROSTER`` -- the centre's membership table (site -> listen port),
+  broadcast once all expected clients are connected.  This is what lets
+  a survivor dial its peers after the centre's socket goes dark.
+* ``DRAINED`` -- a client telling the centre its scripted workload is
+  fully generated (and its degraded-mode queue empty); TCP FIFO order
+  means the centre has already ingested every op the sender will ever
+  send when this frame arrives.
+* ``GOODBYE`` -- the centre's orderly end-of-session marker, sent after
+  the final broadcast on each connection.  A receiver that sees EOF
+  *after* a GOODBYE knows the teardown was clean, not a crash.
 * ``TELEMETRY`` -- one runtime-gauge snapshot
   (:class:`~repro.obs.telemetry.TelemetryFrame`), schema-versioned and
   byte-exact.  Telemetry rides the same stream as the protocol but is
@@ -46,7 +58,9 @@ delivery.  Editor processes attach it via the ordinary
 from __future__ import annotations
 
 import asyncio
+import random
 import struct
+from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Optional, Union
 
 from repro.editor.messages import (
@@ -75,6 +89,9 @@ from repro.obs.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryFrame
 FRAME_HELLO = 0x01
 FRAME_DATA = 0x02
 FRAME_TELEMETRY = 0x03
+FRAME_ROSTER = 0x04
+FRAME_GOODBYE = 0x05
+FRAME_DRAINED = 0x06
 
 PAYLOAD_NONE = 0x00
 PAYLOAD_OP = 0x01
@@ -95,6 +112,37 @@ LENGTH_PREFIX_BYTES = 4
 
 class WireError(CodecError):
     """Raised on malformed frames or unencodable payloads."""
+
+
+# -- control frames ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """The connection-opening handshake: who dialed in, and where the
+    dialer itself accepts connections (0 = nowhere -- failover off)."""
+
+    pid: int
+    listen_port: int = 0
+
+
+@dataclass(frozen=True)
+class Roster:
+    """The centre's membership table: client site -> failover listen port."""
+
+    ports: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Orderly end-of-session marker: EOF after this is clean teardown."""
+
+
+@dataclass(frozen=True)
+class Drained:
+    """A client's workload-complete signal (FIFO-ordered after its last op)."""
+
+    site: int
 
 
 # -- payload encoding ----------------------------------------------------------
@@ -220,9 +268,28 @@ def _decode_payload(reader: Reader) -> Any:
 # -- frame encoding ------------------------------------------------------------
 
 
-def encode_hello(pid: int) -> bytes:
-    """The connection-opening frame body: who is dialing in."""
-    return Writer().u8(FRAME_HELLO).u32(pid).getvalue()
+def encode_hello(pid: int, listen_port: int = 0) -> bytes:
+    """The connection-opening frame body: who is dialing in, and the
+    port the dialer's own failover listener is bound to (0 = none)."""
+    return Writer().u8(FRAME_HELLO).u32(pid).u32(listen_port).getvalue()
+
+
+def encode_roster(ports: dict[int, int]) -> bytes:
+    """The membership table as a ROSTER frame body (no length prefix)."""
+    writer = Writer().u8(FRAME_ROSTER).u32(len(ports))
+    for site in sorted(ports):
+        writer.u32(site).u32(ports[site])
+    return writer.getvalue()
+
+
+def encode_goodbye() -> bytes:
+    """The orderly end-of-session marker as a GOODBYE frame body."""
+    return Writer().u8(FRAME_GOODBYE).getvalue()
+
+
+def encode_drained(site: int) -> bytes:
+    """A client's workload-complete signal as a DRAINED frame body."""
+    return Writer().u8(FRAME_DRAINED).u32(site).getvalue()
 
 
 def encode_envelope(envelope: Envelope) -> bytes:
@@ -266,6 +333,10 @@ def encode_telemetry_frame(tframe: TelemetryFrame) -> bytes:
     writer.u32(tframe.retransmits)
     writer.u32(tframe.storage_ints)
     writer.u32(tframe.queue_depth)
+    writer.u32(tframe.elected)
+    writer.u32(tframe.promoted)
+    writer.u32(tframe.resynced)
+    writer.u32(tframe.degraded_queued)
     writer.string(tframe.digest)
     return writer.getvalue()
 
@@ -295,23 +366,46 @@ def _decode_telemetry(reader: Reader) -> TelemetryFrame:
         retransmits=reader.u32(),
         storage_ints=reader.u32(),
         queue_depth=reader.u32(),
+        elected=reader.u32(),
+        promoted=reader.u32(),
+        resynced=reader.u32(),
+        degraded_queued=reader.u32(),
         digest=reader.string(),
     )
     reader.expect_done()
     return tframe
 
 
-def decode_frame(body: bytes) -> Union[int, Envelope, TelemetryFrame]:
-    """Decode a frame body: HELLO -> pid, DATA -> Envelope,
-    TELEMETRY -> TelemetryFrame."""
+FrameValue = Union[Hello, Envelope, TelemetryFrame, Roster, Goodbye, Drained]
+
+
+def decode_frame(body: bytes) -> FrameValue:
+    """Decode a frame body: HELLO -> Hello, DATA -> Envelope,
+    TELEMETRY -> TelemetryFrame, ROSTER/GOODBYE/DRAINED -> their
+    control dataclasses."""
     reader = Reader(body)
     tag = reader.u8()
     if tag == FRAME_HELLO:
         pid = reader.u32()
+        listen_port = reader.u32()
         reader.expect_done()
-        return pid
+        return Hello(pid=pid, listen_port=listen_port)
     if tag == FRAME_TELEMETRY:
         return _decode_telemetry(reader)
+    if tag == FRAME_ROSTER:
+        ports = {}
+        for _ in range(reader.u32()):
+            site = reader.u32()
+            ports[site] = reader.u32()
+        reader.expect_done()
+        return Roster(ports=ports)
+    if tag == FRAME_GOODBYE:
+        reader.expect_done()
+        return Goodbye()
+    if tag == FRAME_DRAINED:
+        site = reader.u32()
+        reader.expect_done()
+        return Drained(site=site)
     if tag != FRAME_DATA:
         raise WireError(f"unknown frame tag 0x{tag:02x}")
     source = reader.u32()
@@ -376,10 +470,19 @@ class WireChannel:
         self.dest = dest
         self.writer = writer
         self.stats = ChannelStats()
+        self.dropped_on_dead_wire = 0
         self._sent_ids: list[int] = []
 
     def send(self, envelope: Envelope) -> float:
-        """Frame ``envelope`` onto the stream; returns the send time."""
+        """Frame ``envelope`` onto the stream; returns the send time.
+
+        A send against a closing or torn-down stream is *dropped* (and
+        counted), not raised: during a failover window the reliability
+        layer's retransmit timers keep firing at the dead centre's
+        socket, and the protocol above recovers those ops via the
+        failover snapshot -- the wire must not turn that race into an
+        unhandled exception on the event loop.
+        """
         if envelope.source != self.source or envelope.dest != self.dest:
             raise ValueError(
                 f"envelope addressed {envelope.source}->{envelope.dest} sent "
@@ -387,6 +490,10 @@ class WireChannel:
             )
         if envelope.message_id is None:
             object.__setattr__(envelope, "message_id", self.sched.next_message_id())
+        is_closing = getattr(self.writer, "is_closing", None)
+        if is_closing is not None and is_closing():
+            self.dropped_on_dead_wire += 1
+            return self.sched.now
         self.stats.messages += 1
         self.stats.total_bytes += envelope.total_bytes()
         self.stats.timestamp_bytes += envelope.timestamp_bytes
@@ -395,7 +502,10 @@ class WireChannel:
         )
         assert envelope.message_id is not None
         self._sent_ids.append(envelope.message_id)
-        self.writer.write(frame(encode_envelope(envelope)))
+        try:
+            self.writer.write(frame(encode_envelope(envelope)))
+        except (ConnectionError, RuntimeError):
+            self.dropped_on_dead_wire += 1
         return self.sched.now
 
     def fifo_respected(self) -> bool:
@@ -407,6 +517,9 @@ async def pump(reader: asyncio.StreamReader,
                on_envelope: Callable[[Envelope], None],
                *, on_eof: Optional[Callable[[], Awaitable[None]]] = None,
                on_telemetry: Optional[Callable[[TelemetryFrame], None]] = None,
+               on_roster: Optional[Callable[[Roster], None]] = None,
+               on_goodbye: Optional[Callable[[], None]] = None,
+               on_drained: Optional[Callable[[Drained], None]] = None,
                ) -> None:
     """Feed every DATA frame on ``reader`` to ``on_envelope`` until EOF.
 
@@ -414,9 +527,10 @@ async def pump(reader: asyncio.StreamReader,
     channel *schedules* a delivery callback, the wire's pump *awaits*
     frames and invokes the process's ``on_message`` inline on the event
     loop -- same callback, different clock.  A HELLO frame after the
-    handshake is a protocol error; a TELEMETRY frame goes to
-    ``on_telemetry`` when given and is otherwise ignored (gossip is
-    advisory -- a pump that does not subscribe must not choke on it).
+    handshake is a protocol error; TELEMETRY / ROSTER / GOODBYE /
+    DRAINED frames go to their optional callbacks and are otherwise
+    ignored (control traffic is advisory -- a pump that does not
+    subscribe must not choke on it).
     """
     while True:
         body = await read_frame(reader)
@@ -427,8 +541,84 @@ async def pump(reader: asyncio.StreamReader,
             if on_telemetry is not None:
                 on_telemetry(decoded)
             continue
+        if isinstance(decoded, Roster):
+            if on_roster is not None:
+                on_roster(decoded)
+            continue
+        if isinstance(decoded, Goodbye):
+            if on_goodbye is not None:
+                on_goodbye()
+            continue
+        if isinstance(decoded, Drained):
+            if on_drained is not None:
+                on_drained(decoded)
+            continue
         if not isinstance(decoded, Envelope):
             raise WireError("unexpected HELLO frame after handshake")
         on_envelope(decoded)
     if on_eof is not None:
         await on_eof()
+
+
+# -- dialing with backoff ------------------------------------------------------
+
+
+def backoff_delays(attempts: int, *, base_delay: float = 0.05,
+                   max_delay: float = 2.0, backoff: float = 2.0,
+                   jitter: float = 0.5, seed: int = 0) -> list[float]:
+    """The deterministic retry schedule ``connect_with_backoff`` sleeps on.
+
+    Delay ``n`` (before retry ``n+1``) is ``min(base * backoff**n, cap)``
+    scaled by a seeded jitter factor in ``[1, 1 + jitter]`` -- capped
+    exponential backoff that desynchronises survivors re-dialing the
+    same successor without losing reproducibility.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    rng = random.Random(seed)
+    delays = []
+    for n in range(attempts - 1):
+        delay = min(base_delay * backoff ** n, max_delay)
+        delays.append(delay * (1.0 + jitter * rng.random()))
+    return delays
+
+
+async def connect_with_backoff(
+    host: str, port: int, *, attempts: int = 8, base_delay: float = 0.05,
+    max_delay: float = 2.0, backoff: float = 2.0, jitter: float = 0.5,
+    seed: int = 0,
+    connect: Callable[
+        [str, int],
+        Awaitable[tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+    ] | None = None,
+    sleep: Callable[[float], Awaitable[None]] | None = None,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial ``host:port``, retrying on refusal with capped backoff.
+
+    Used for both the initial cluster connect (the listener may not be
+    up yet) and the failover re-dial (the successor promotes while the
+    survivors are already dialing).  ``connect``/``sleep`` are
+    injectable so the schedule is unit-testable without sockets.
+    """
+    do_connect = connect if connect is not None else _open_connection
+    do_sleep = sleep if sleep is not None else asyncio.sleep
+    delays = backoff_delays(attempts, base_delay=base_delay,
+                            max_delay=max_delay, backoff=backoff,
+                            jitter=jitter, seed=seed)
+    last_error: OSError | None = None
+    for attempt in range(attempts):
+        try:
+            return await do_connect(host, port)
+        except OSError as exc:
+            last_error = exc
+            if attempt < len(delays):
+                await do_sleep(delays[attempt])
+    raise WireError(
+        f"could not connect to {host}:{port} after {attempts} attempts"
+    ) from last_error
+
+
+async def _open_connection(
+    host: str, port: int,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    return await asyncio.open_connection(host, port)

@@ -134,6 +134,10 @@ def site_registry(frames: Sequence[TelemetryFrame]) -> MetricsRegistry:
     registry.inc("telemetry.ops_executed", last.ops_executed)
     registry.inc("telemetry.retransmits", last.retransmits)
     registry.inc("telemetry.storage_ints", last.storage_ints)
+    registry.inc("telemetry.elected", last.elected)
+    registry.inc("telemetry.promoted", last.promoted)
+    registry.inc("telemetry.resynced", last.resynced)
+    registry.inc("telemetry.degraded_queued", last.degraded_queued)
     registry.inc("telemetry.frames", len(frames))
     for frame in frames:
         registry.observe("telemetry.holdback_depth", frame.holdback_depth)
@@ -200,6 +204,22 @@ class MonitorSnapshot:
         return max((f.epoch for f in self.latest.values()), default=0)
 
     @property
+    def elected(self) -> int:
+        return sum(f.elected for f in self.latest.values())
+
+    @property
+    def promoted(self) -> int:
+        return sum(f.promoted for f in self.latest.values())
+
+    @property
+    def resynced(self) -> int:
+        return sum(f.resynced for f in self.latest.values())
+
+    @property
+    def degraded_queued(self) -> int:
+        return sum(f.degraded_queued for f in self.latest.values())
+
+    @property
     def digests_agree(self) -> bool:
         """True unless two *complete-looking* replicas disagree.
 
@@ -230,6 +250,14 @@ class MonitorSnapshot:
             f"rtx={self.retransmits} store={self.storage_ints} "
             f"q={self.queue_depth} epoch={self.epoch} digests={digests}"
         )
+        if self.elected or self.promoted or self.resynced or self.degraded_queued:
+            # The epoch transition, live: elections opened, promotions
+            # completed, members resynced under the new centre, edits
+            # queued while leaderless.
+            text += (
+                f" failover={self.elected}e/{self.promoted}p/"
+                f"{self.resynced}r dq={self.degraded_queued}"
+            )
         for event in self.health:
             text += (
                 f"\n  health: [{event.verdict}] site {event.site} "
@@ -253,6 +281,10 @@ class MonitorSnapshot:
             "storage_ints": self.storage_ints,
             "queue_depth": self.queue_depth,
             "epoch": self.epoch,
+            "elected": self.elected,
+            "promoted": self.promoted,
+            "resynced": self.resynced,
+            "degraded_queued": self.degraded_queued,
             "digests_agree": self.digests_agree,
             "health": [json.loads(e.to_json()) for e in self.health],
         }

@@ -51,8 +51,9 @@ TELEMETRY_FORMAT = "repro-obs-telemetry-v1"
 
 #: Bumped whenever the frame schema changes shape.  The wire codec
 #: carries it in every frame, so readers can reject frames from a
-#: future schema instead of misparsing them.
-TELEMETRY_SCHEMA_VERSION = 1
+#: future schema instead of misparsing them.  v2 added the failover
+#: gauges (elected / promoted / resynced / degraded_queued).
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 def document_digest(document: Any) -> str:
@@ -90,6 +91,10 @@ class TelemetryFrame:
     retransmits: int = 0
     storage_ints: int = 0  # resident clock-state integers (CLAIM-MEM)
     queue_depth: int = 0  # scheduler pending events
+    elected: int = 0  # elections this endpoint has opened or joined
+    promoted: int = 0  # in-process promotions to notifier (successor only)
+    resynced: int = 0  # failover handoffs completed (snapshot installed)
+    degraded_queued: int = 0  # local edits queued while leaderless
     digest: str = ""  # document_digest() of the replica
 
     def to_json(self) -> str:
@@ -207,6 +212,10 @@ def snapshot_endpoint(
         retransmits=int(getattr(stats, "retransmits", 0)),
         storage_ints=_call_int(endpoint, "clock_storage_ints"),
         queue_depth=int(getattr(sched, "pending_events", 0)),
+        elected=int(getattr(stats, "elections", 0)),
+        promoted=int(getattr(stats, "promotions", 0)),
+        resynced=int(getattr(stats, "handoffs", 0)),
+        degraded_queued=int(getattr(stats, "degraded_queued", 0)),
         digest=document_digest(getattr(endpoint, "document", "")),
     )
 

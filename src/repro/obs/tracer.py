@@ -318,10 +318,22 @@ class Tracer:
         self.emitted = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock: Callable[[], float] = clock if clock is not None else _zero_clock
+        self._sink: Optional[Callable[["TraceEvent"], None]] = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Stamp subsequent events with ``clock()`` (the session's sim)."""
         self._clock = clock
+
+    def bind_sink(self, sink: Optional[Callable[["TraceEvent"], None]]) -> None:
+        """Stream every subsequent event to ``sink`` as it is emitted.
+
+        The sink sees the event *after* it is appended to the in-memory
+        buffer.  This is what lets a cluster process persist its trace
+        incrementally (crash-safe, flush-per-event) instead of only at
+        orderly shutdown -- a process that dies by ``os._exit`` still
+        leaves every emitted event on disk.
+        """
+        self._sink = sink
 
     def emit(
         self,
@@ -357,6 +369,8 @@ class Tracer:
         self.emitted += 1
         if self.mode != "ring":  # ring mode skips the counter: cost contract
             self.metrics.inc(f"trace.{kind.value}")
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     def by_kind(self, kind: TraceEventKind) -> list[TraceEvent]:

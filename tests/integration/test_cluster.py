@@ -131,16 +131,17 @@ def test_cluster_with_telemetry_streams_and_monitor_aggregation(
     assert (tmp_path / "monitor.jsonl").exists()
 
 
-def test_injected_notifier_crash_leaves_flight_recorders(
+def test_injected_notifier_crash_without_failover_leaves_flight_recorders(
     tmp_path: Path,
 ) -> None:
-    """ISSUE 8 acceptance, failure half: crash mid-run, evidence survives.
+    """The negative test: failover disabled, a crash is cleanly terminal.
 
-    The notifier hard-exits mid-run; every process must dump a flight
-    recorder, the clients must flag the dead peer *live* (a ``fail``
-    health event in their telemetry streams, written before the run
-    ends), and the driver must salvage the artifacts by name instead of
-    discarding the run.
+    The notifier hard-exits mid-run with ``failover=False``; every
+    process must dump a flight recorder, the clients must flag the dead
+    peer *live* (a ``fail`` health event in their telemetry streams,
+    written before the run ends), and the driver must salvage the
+    artifacts by name instead of discarding the run -- the explained
+    failure, not a hang or an unexplained one.
     """
     import pytest
 
@@ -152,7 +153,8 @@ def test_injected_notifier_crash_leaves_flight_recorders(
     config = ClusterConfig(clients=2, ops_per_client=20, seed=5,
                            time_scale=0.3, timeout_s=8.0,
                            telemetry_interval_s=0.2,
-                           crash_notifier_after_s=1.5)
+                           crash_notifier_after_s=1.5,
+                           failover=False)
     with pytest.raises(ClusterError) as excinfo:
         run_cluster(config, tmp_path)
     # The failure report names the salvaged observability artifacts.

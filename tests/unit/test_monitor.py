@@ -125,6 +125,42 @@ class TestAggregate:
         assert "sites=1/4" in text
         assert "health: [fail] site 2 peer_dead (peer 0): gone" in text
 
+    def test_failover_counters_sum_and_render_only_when_present(self):
+        # A quiet run never mentions failover -- the line segment is
+        # reserved for runs where an epoch transition actually happened.
+        quiet = aggregate({0: [frame_at(0, 0)], 1: [frame_at(1, 0)]})
+        assert "failover=" not in quiet.line()
+        assert quiet.elected == 0 and quiet.promoted == 0
+        # After a crash: site 1 elected + promoted at epoch 1, sites 2-3
+        # resynced from snapshots, site 3 queued edits while leaderless.
+        by_site = {
+            1: [frame_at(1, 2, elected=1, promoted=1, epoch=1)],
+            2: [frame_at(2, 2, resynced=1, epoch=1)],
+            3: [frame_at(3, 2, resynced=1, degraded_queued=2, epoch=1)],
+        }
+        snapshot = aggregate(by_site)
+        assert snapshot.elected == 1
+        assert snapshot.promoted == 1
+        assert snapshot.resynced == 2
+        assert snapshot.degraded_queued == 2
+        assert "failover=1e/1p/2r dq=2" in snapshot.line()
+        record = json.loads(snapshot.to_json())
+        assert record["elected"] == 1
+        assert record["promoted"] == 1
+        assert record["resynced"] == 2
+        assert record["degraded_queued"] == 2
+
+    def test_site_registry_carries_failover_counters(self):
+        registry = site_registry(
+            [frame_at(1, 0), frame_at(1, 1, elected=1, promoted=1,
+                                      resynced=1, degraded_queued=3)]
+        )
+        counters = registry.counters()
+        assert counters["telemetry.elected"] == 1
+        assert counters["telemetry.promoted"] == 1
+        assert counters["telemetry.resynced"] == 1
+        assert counters["telemetry.degraded_queued"] == 3
+
 
 class TestRegistries:
     def test_site_registry_counts_latest_and_observes_every_frame(self):

@@ -28,11 +28,20 @@ from repro.net.simulator import Simulator
 from repro.net.transport import Envelope
 from repro.net.wire import (
     MAX_FRAME_BYTES,
+    Drained,
+    Goodbye,
+    Hello,
+    Roster,
     WireChannel,
     WireError,
+    backoff_delays,
+    connect_with_backoff,
     decode_frame,
+    encode_drained,
     encode_envelope,
+    encode_goodbye,
     encode_hello,
+    encode_roster,
     frame,
     pump,
     read_frame,
@@ -63,7 +72,19 @@ def _roundtrip(payload, kind: str = "op", message_id: int | None = 7) -> Envelop
 
 
 def test_hello_roundtrip() -> None:
-    assert decode_frame(encode_hello(3)) == 3
+    assert decode_frame(encode_hello(3)) == Hello(pid=3, listen_port=0)
+    assert decode_frame(encode_hello(3, 9100)) == Hello(pid=3, listen_port=9100)
+
+
+def test_roster_roundtrip() -> None:
+    ports = {1: 9101, 2: 9102, 3: 0}
+    assert decode_frame(encode_roster(ports)) == Roster(ports=ports)
+    assert decode_frame(encode_roster({})) == Roster(ports={})
+
+
+def test_goodbye_and_drained_roundtrip() -> None:
+    assert decode_frame(encode_goodbye()) == Goodbye()
+    assert decode_frame(encode_drained(2)) == Drained(site=2)
 
 
 def test_none_payload_roundtrip() -> None:
@@ -202,6 +223,36 @@ def test_read_frame_rejects_torn_prefix_and_torn_body() -> None:
     asyncio.run(body())
 
 
+def test_pump_routes_control_frames_and_ignores_them_without_callbacks() -> None:
+    async def body() -> None:
+        envelope = Envelope(source=1, dest=0, payload=_op_message(),
+                            timestamp_bytes=8, kind="op", message_id=1)
+        data = (frame(encode_roster({1: 9101}))
+                + frame(encode_envelope(envelope))
+                + frame(encode_drained(1))
+                + frame(encode_goodbye()))
+        rosters: list[Roster] = []
+        drained: list[Drained] = []
+        goodbyes: list[None] = []
+        seen: list[Envelope] = []
+        await pump(
+            _reader_with(data), seen.append,
+            on_roster=rosters.append,
+            on_drained=drained.append,
+            on_goodbye=lambda: goodbyes.append(None),
+        )
+        assert [r.ports for r in rosters] == [{1: 9101}]
+        assert [d.site for d in drained] == [1]
+        assert len(goodbyes) == 1 and len(seen) == 1
+        # Without callbacks the control frames are skipped, not fatal:
+        # an old reader meeting a new writer must not explode.
+        seen.clear()
+        await pump(_reader_with(data), seen.append)
+        assert len(seen) == 1
+
+    asyncio.run(body())
+
+
 def test_pump_decodes_and_rejects_late_hello() -> None:
     async def body() -> None:
         envelope = Envelope(source=1, dest=0, payload=_op_message(),
@@ -260,3 +311,66 @@ def test_wire_channel_rejects_misaddressed_envelopes() -> None:
     with pytest.raises(ValueError, match="addressed"):
         wire.send(Envelope(source=2, dest=0, payload=None,
                            timestamp_bytes=0, kind="op"))
+
+
+# -- connect_with_backoff ------------------------------------------------------
+
+
+def test_backoff_delays_are_deterministic_capped_and_jittered() -> None:
+    delays = backoff_delays(6, base_delay=0.05, max_delay=0.4,
+                            backoff=2.0, jitter=0.5, seed=7)
+    assert delays == backoff_delays(6, base_delay=0.05, max_delay=0.4,
+                                    backoff=2.0, jitter=0.5, seed=7)
+    assert len(delays) == 5  # one fewer sleep than attempts
+    # Every delay sits in [raw, raw * 1.5] for its capped raw value.
+    raws = [min(0.05 * 2.0 ** n, 0.4) for n in range(5)]
+    for delay, raw in zip(delays, raws):
+        assert raw <= delay <= raw * 1.5
+    # A different seed jitters differently (with overwhelming odds).
+    assert delays != backoff_delays(6, base_delay=0.05, max_delay=0.4,
+                                    backoff=2.0, jitter=0.5, seed=8)
+    assert backoff_delays(1) == []
+    with pytest.raises(ValueError):
+        backoff_delays(0)
+
+
+def test_connect_with_backoff_retries_then_succeeds() -> None:
+    async def body() -> None:
+        calls: list[int] = []
+        slept: list[float] = []
+
+        async def connect(host: str, port: int):
+            calls.append(port)
+            if len(calls) < 3:
+                raise ConnectionRefusedError("not yet")
+            return ("reader", "writer")
+
+        async def sleep(delay: float) -> None:
+            slept.append(delay)
+
+        result = await connect_with_backoff(
+            "127.0.0.1", 9000, attempts=5, seed=3,
+            connect=connect, sleep=sleep,  # type: ignore[arg-type]
+        )
+        assert result == ("reader", "writer")
+        assert calls == [9000, 9000, 9000]
+        assert slept == backoff_delays(5, seed=3)[:2]
+
+    asyncio.run(body())
+
+
+def test_connect_with_backoff_exhausts_attempts() -> None:
+    async def body() -> None:
+        async def connect(host: str, port: int):
+            raise ConnectionRefusedError("down")
+
+        async def sleep(delay: float) -> None:
+            pass
+
+        with pytest.raises(WireError, match="after 3 attempts"):
+            await connect_with_backoff(
+                "127.0.0.1", 9001, attempts=3,
+                connect=connect, sleep=sleep,  # type: ignore[arg-type]
+            )
+
+    asyncio.run(body())
