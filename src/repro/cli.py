@@ -452,6 +452,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             crash_notifier_after_s=args.crash_notifier_after,
             failover=not args.no_failover,
             degraded_limit=args.degraded_limit,
+            beacon_port=args.beacon_port,
         )
     except ValueError as exc:
         print(f"invalid cluster config: {exc}", file=sys.stderr)
@@ -494,6 +495,9 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         once=args.once,
         expect_sites=args.expect_sites,
         artifact=Path(args.artifact) if args.artifact else None,
+        follow=args.follow,
+        max_intervals=args.max_intervals,
+        beacon_port=args.beacon_port,
     )
 
 
@@ -763,6 +767,15 @@ def build_parser() -> argparse.ArgumentParser:
         "leaderless during failover (0 = drop them; default 64)",
     )
     p_cluster.add_argument(
+        "--beacon-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="UDP telemetry sideband: every process also fires its frames "
+        "as datagrams at this port (pair with ``repro monitor "
+        "--beacon-port``); needs --telemetry-interval",
+    )
+    p_cluster.add_argument(
         "--out",
         default=None,
         help="artifact directory (default: a kept temporary directory)",
@@ -798,6 +811,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_monitor.add_argument(
         "--artifact", default=None,
         help="final JSONL artifact path (default: DIR/monitor.jsonl)",
+    )
+    p_monitor.add_argument(
+        "--follow", action="store_true",
+        help="live dashboard: one sparkline row per site on a TTY, "
+        "deterministic plain lines when piped",
+    )
+    p_monitor.add_argument(
+        "--max-intervals", type=int, default=None, metavar="N",
+        help="stop after N aggregation rounds (CI smoke bound)",
+    )
+    p_monitor.add_argument(
+        "--beacon-port", type=int, default=None, metavar="PORT",
+        help="also listen for UDP telemetry datagrams on this port "
+        "(the sideband cluster processes fire with --beacon-port)",
     )
     p_monitor.set_defaults(func=cmd_monitor)
     return parser

@@ -32,6 +32,7 @@ from repro.obs.analysis import (
     released_without_cause,
     verify_check_records,
 )
+from repro.obs.spans import SpanReport, assemble_spans
 from repro.obs.tracer import TraceEvent, TraceEventKind
 
 _GENERATION_KINDS = (TraceEventKind.GENERATED, TraceEventKind.TRANSFORMED)
@@ -197,6 +198,13 @@ class ClusterReport:
     #: Human-readable context rendered with the summary but not part of
     #: the verdict (e.g. which artifacts a crashed site left behind).
     notes: list[str] = field(default_factory=list)
+    #: Wall-clock end-to-end latency derived from ``span`` events
+    #: (:mod:`repro.obs.spans`): per site-pair percentiles with
+    #: skew-corrected values where the estimator had samples in both
+    #: directions.  ``None`` when the run recorded no span events (the
+    #: instrumentation is opt-in).  Informational -- never part of the
+    #: :attr:`ok` verdict, since wall-clock latency is hardware noise.
+    spans: Optional[SpanReport] = None
 
     @property
     def ok(self) -> bool:
@@ -231,6 +239,8 @@ class ClusterReport:
                 f"  op latency: p50 {self.latency_p50_s * 1e3:.1f} ms, "
                 f"p95 {self.latency_p95_s * 1e3:.1f} ms"
             )
+        if self.spans is not None:
+            lines.extend(f"  {line}" for line in self.spans.summary_lines())
         lines.extend(f"  note: {note}" for note in self.notes)
         lines.extend(f"  error: {err}" for err in self.errors)
         return "\n".join(lines)
@@ -269,6 +279,7 @@ def analyze_cluster(
         ordered = sorted(all_lat)
         p50 = ordered[len(ordered) // 2]
         p95 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))]
+    spans = assemble_spans(merged)
     return ClusterReport(
         converged=bool(docs) and all(doc == docs[0] for doc in docs[1:]),
         documents=documents,
@@ -285,4 +296,5 @@ def analyze_cluster(
         errors=errors,
         failover_run=failover_run,
         notes=list(notes),
+        spans=spans if spans.span_events else None,
     )

@@ -49,6 +49,7 @@ import argparse
 import asyncio
 import random
 import signal
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -64,6 +65,7 @@ from repro.cluster.harness import (
     write_artifacts,
 )
 from repro.editor.star_client import StarClient
+from repro.net.beacon import BeaconSender
 from repro.net.scheduler import AsyncioScheduler
 from repro.net.transport import Envelope
 from repro.net.wire import (
@@ -102,6 +104,9 @@ async def run_client(config: ClusterConfig, site: int, port: int,
         reliability=config.reliability_config(),
         tracer=tracer,
     )
+    # Arm the latency observatory (see serve.py): outgoing ops carry
+    # their origin wall-clock stamp; executions feed the e2e window.
+    client.span_clock = time.time
     recorder = FlightRecorder(tracer)
 
     def dump_flight(reason: str) -> None:
@@ -152,12 +157,21 @@ async def run_client(config: ClusterConfig, site: int, port: int,
         coordinator.workload_remaining = lambda: remaining
 
     sampler: Optional[TelemetrySampler] = None
+    beacon: Optional[BeaconSender] = None
     if config.telemetry_enabled:
         stream = telemetry_writer(out_dir, site, "client")
         telem = stream
+        if config.beacon_port is not None:
+            beacon = BeaconSender(config.host, config.beacon_port)
 
         def on_frame(tframe: TelemetryFrame) -> None:
             stream.write_line(tframe.to_json())
+            body = encode_telemetry_frame(tframe)
+            if beacon is not None:
+                # The UDP sideband: same frame bytes, no connection to
+                # lose -- the monitor keeps seeing this site even while
+                # the TCP centre is dead (dedupe is by (site, seq)).
+                beacon.send(body)
             # Gossip the frame to the current centre over the data
             # connection; a readerless/dying socket must never take
             # sampling down.
@@ -165,7 +179,7 @@ async def run_client(config: ClusterConfig, site: int, port: int,
             if not isinstance(w, asyncio.StreamWriter) or w.is_closing():
                 return
             try:
-                w.write(frame(encode_telemetry_frame(tframe)))
+                w.write(frame(body))
             except (ConnectionError, RuntimeError):
                 pass
 
@@ -343,6 +357,8 @@ async def run_client(config: ClusterConfig, site: int, port: int,
         sampler.sample()
     if telem is not None:
         telem.close()
+    if beacon is not None:
+        beacon.close()
     if coordinator is not None:
         await coordinator.close()
     open_writers = [writer]

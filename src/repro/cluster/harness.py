@@ -70,6 +70,12 @@ class ClusterConfig:
     #: Degraded-mode bound: local edits queued per client while the star
     #: is leaderless.  0 drops such edits (the simulator's semantics).
     degraded_limit: int = 64
+    #: UDP telemetry sideband: when set, every process fires each
+    #: telemetry frame as a datagram at ``host:beacon_port`` (the
+    #: monitor's fan-in socket) beside the TCP gossip, so the monitor
+    #: keeps receiving frames through a notifier crash.  ``None``
+    #: disables the sideband.  Only meaningful with telemetry on.
+    beacon_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -90,6 +96,8 @@ class ClusterConfig:
             raise ValueError(
                 f"degraded-mode queue bound must be >= 0: {self.degraded_limit}"
             )
+        if self.beacon_port is not None and not 0 < self.beacon_port < 65536:
+            raise ValueError(f"beacon port out of range: {self.beacon_port}")
 
     @property
     def telemetry_enabled(self) -> bool:
@@ -133,6 +141,8 @@ class ClusterConfig:
         if not self.failover:
             args.append("--no-failover")
         args.extend(["--degraded-limit", str(self.degraded_limit)])
+        if self.beacon_port is not None:
+            args.extend(["--beacon-port", str(self.beacon_port)])
         return args
 
 
@@ -325,6 +335,11 @@ def add_common_args(parser: Any) -> None:
         help="max local edits queued per client while the star is "
         "leaderless (0 = drop them)",
     )
+    parser.add_argument(
+        "--beacon-port", type=int, default=None, metavar="PORT",
+        help="UDP telemetry sideband: also fire every telemetry frame "
+        "as a datagram at this port (the monitor's fan-in socket)",
+    )
     parser.add_argument("--out", required=True, help="artifact directory")
 
 
@@ -342,4 +357,5 @@ def config_from_args(args: Any) -> ClusterConfig:
         crash_notifier_after_s=args.crash_notifier_after,
         failover=not args.no_failover,
         degraded_limit=args.degraded_limit,
+        beacon_port=args.beacon_port,
     )

@@ -46,6 +46,7 @@ import argparse
 import asyncio
 import os
 import signal
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -61,6 +62,7 @@ from repro.cluster.harness import (
     write_artifacts,
 )
 from repro.editor.star_notifier import StarNotifier
+from repro.net.beacon import BeaconSender
 from repro.net.scheduler import AsyncioScheduler
 from repro.net.transport import Envelope
 from repro.net.wire import (
@@ -71,6 +73,7 @@ from repro.net.wire import (
     decode_frame,
     encode_goodbye,
     encode_roster,
+    encode_telemetry_frame,
     frame,
     pump,
     read_frame,
@@ -100,6 +103,10 @@ async def serve(config: ClusterConfig, out_dir: Path,
         reliability=config.reliability_config(),
         tracer=tracer,
     )
+    # Arm the latency observatory: cluster traces are wall-clock already
+    # (the tracer's clock is time.time), so every generated op is
+    # stamped with its origin time and span events mark each stage.
+    notifier.span_clock = time.time
     recorder = FlightRecorder(tracer)
     trace_stream = streaming_trace_writer(out_dir, 0, "notifier", tracer)
     done = asyncio.Event()
@@ -113,9 +120,12 @@ async def serve(config: ClusterConfig, out_dir: Path,
 
     telem: Optional[JsonlWriter] = None
     sampler: Optional[TelemetrySampler] = None
+    beacon: Optional[BeaconSender] = None
     if config.telemetry_enabled:
         stream = telemetry_writer(out_dir, 0, "notifier")
         telem = stream
+        if config.beacon_port is not None:
+            beacon = BeaconSender(config.host, config.beacon_port)
         interval = config.telemetry_interval_s
         watchdogs = default_watchdogs(
             expected_ops=config.total_ops,
@@ -134,9 +144,16 @@ async def serve(config: ClusterConfig, out_dir: Path,
             return [snapshot_endpoint(notifier, sched=sched, seq=seq,
                                       role="notifier")]
 
+        def emit_frame(tframe: TelemetryFrame) -> None:
+            stream.write_line(tframe.to_json())
+            if beacon is not None:
+                # The UDP sideband carries the same frame bytes as the
+                # TCP gossip; the monitor dedupes by (site, seq).
+                beacon.send(encode_telemetry_frame(tframe))
+
         sampler = TelemetrySampler(
             sched, probe, interval=interval,
-            on_frame=lambda f: stream.write_line(f.to_json()),
+            on_frame=emit_frame,
             on_health=lambda e: stream.write_line(e.to_json()),
             watchdogs=watchdogs, keep=False,
         )
@@ -286,6 +303,8 @@ async def serve(config: ClusterConfig, out_dir: Path,
         sampler.sample()
     if telem is not None:
         telem.close()
+    if beacon is not None:
+        beacon.close()
     messages = sum(ch.stats.messages for ch in notifier.out_channels.values())
     wire_bytes = sum(ch.stats.total_bytes for ch in notifier.out_channels.values())
     write_artifacts(

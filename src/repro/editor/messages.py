@@ -18,13 +18,25 @@ from repro.core.timestamp import CompressedTimestamp
 
 @dataclass(frozen=True)
 class OpMessage:
-    """The wire format of a propagated operation."""
+    """The wire format of a propagated operation.
+
+    ``origin_wall`` is the wall-clock instant the operation was
+    generated, measured on the *origin site's* clock.  It is ``None``
+    in deterministic simulator sessions (where no wall clock exists and
+    the wire bytes must stay byte-identical to the paper's accounting)
+    and stamped by cluster processes whose endpoints have an armed
+    ``span_clock`` -- the notifier forwards it unchanged on broadcast,
+    so every remote execution can measure true end-to-end latency
+    against it (modulo pairwise clock skew, which
+    :mod:`repro.obs.spans` estimates and corrects).
+    """
 
     op: Any
     timestamp: CompressedTimestamp
     origin_site: int  # site the operation was originally generated at
     op_id: str
     source_op_id: str | None = None  # for notifier outputs: the input op
+    origin_wall: float | None = None  # origin wall clock (span latency)
 
 
 @dataclass(frozen=True)

@@ -138,6 +138,11 @@ class StarNotifier(EditorEndpoint):
         message: OpMessage = envelope.payload
         source = envelope.source
         ts = message.timestamp
+        if message.origin_wall is not None and self.tracer is not None:
+            self.tracer.emit(
+                TraceEventKind.SPAN, self.pid, op_id=message.op_id,
+                peer=source, via="ingest", origin_time=message.origin_wall,
+            )
         diagnostics = self.record_checks or self.verify_with_oracle
         concurrent_entries = (
             self._concurrency_pass(message, source) if diagnostics else None
@@ -169,11 +174,13 @@ class StarNotifier(EditorEndpoint):
                     new_op, entry.op, source < entry.origin_site
                 )
                 entry.op = updated
-        self._execute_and_broadcast(new_op, source, message.op_id, ts)
+        self._execute_and_broadcast(new_op, source, message.op_id, ts,
+                                    origin_wall=message.origin_wall)
 
     @profiled("notifier.broadcast")
     def _execute_and_broadcast(
-        self, new_op: Any, source: int, source_op_id: str, ts: CompressedTimestamp
+        self, new_op: Any, source: int, source_op_id: str,
+        ts: CompressedTimestamp, origin_wall: float | None = None
     ) -> None:
         """Execute; the transformed operation becomes a *new* operation
         "generated at site 0" (paper Section 3.1 / Fig. 3), broadcast to
@@ -200,6 +207,21 @@ class StarNotifier(EditorEndpoint):
                 source_op_id=source_op_id,
                 timestamp=tuple(self.sv.full_timestamp().as_paper_list()),
             )
+        if origin_wall is not None:
+            # The centre executed the op too: close its span, then open
+            # the broadcast stage the remote executions will pair with.
+            if self.tracer is not None:
+                self.tracer.emit(
+                    TraceEventKind.SPAN, self.pid, op_id=source_op_id,
+                    peer=source, via="execute", origin_time=origin_wall,
+                )
+                self.tracer.emit(
+                    TraceEventKind.SPAN, self.pid, op_id=transformed_id,
+                    peer=source, source_op_id=source_op_id,
+                    via="broadcast", origin_time=origin_wall,
+                )
+            if self.span_clock is not None and source != self.pid:
+                self.e2e_window.append(self.span_clock() - origin_wall)
         self.hb.append(
             HistoryEntry(
                 op=new_op,
@@ -222,6 +244,7 @@ class StarNotifier(EditorEndpoint):
                 origin_site=source,
                 op_id=transformed_id,
                 source_op_id=source_op_id,
+                origin_wall=origin_wall,
             )
             self.send(dest, out, timestamp_bytes=dest_ts.size_bytes())
             self.sent_to[dest].append(
@@ -254,6 +277,14 @@ class StarNotifier(EditorEndpoint):
                 TraceEventKind.GENERATED, self.pid, op_id=op_id,
                 timestamp=tuple(ts.as_paper_list()),
             )
+        origin_wall = None
+        if self.span_clock is not None:
+            origin_wall = self.span_clock()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    TraceEventKind.SPAN, self.pid, op_id=op_id,
+                    peer=self.pid, via="generate", origin_time=origin_wall,
+                )
         message = OpMessage(op=op, timestamp=ts, origin_site=self.pid, op_id=op_id)
         diagnostics = self.record_checks or self.verify_with_oracle
         if diagnostics:
@@ -263,7 +294,8 @@ class StarNotifier(EditorEndpoint):
                     f"notifier: centre-local op {op_id} tested concurrent with "
                     f"{[e.op_id for e in concurrent_entries]}"
                 )
-        self._execute_and_broadcast(op, self.pid, op_id, ts)
+        self._execute_and_broadcast(op, self.pid, op_id, ts,
+                                    origin_wall=origin_wall)
         return op_id
 
     @profiled("notifier.concurrency")
@@ -435,6 +467,11 @@ class StarNotifier(EditorEndpoint):
         # Share the spoke channels: outgoing sends must reach the wires
         # the topology attached to the successor process.
         notifier.out_channels = client.out_channels
+        # Role transfer keeps the latency observatory armed: the
+        # promoted centre stamps its own local edits and keeps feeding
+        # the live end-to-end gauge across the epoch boundary.
+        notifier.span_clock = client.span_clock
+        notifier.e2e_window = client.e2e_window
         for site in range(1, n_sites + 1):
             if site == client.pid:
                 notifier.sv.counts[site - 1] = client.sv.generated_locally

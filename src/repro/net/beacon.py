@@ -1,0 +1,143 @@
+"""The UDP telemetry sideband: datagram beacons beside the TCP gossip.
+
+Telemetry normally reaches the monitor two ways -- the per-process JSONL
+stream on disk and the TELEMETRY frames gossiped over the cluster's TCP
+connections.  Both go dark in exactly the situations telemetry matters
+most: the notifier dying takes the gossip hub with it, and a hung
+process stops flushing its stream.  The beacon is the third path: every
+process fires each frame as one UDP datagram straight at the monitor's
+port, connectionless and loss-tolerant, so the monitor keeps rendering
+through the failover window.
+
+The datagram body is the **same bytes** as the TCP TELEMETRY frame body
+(:func:`repro.net.wire.encode_telemetry_frame`: tag byte, schema
+version, fixed-width gauges) -- one codec, two carriages -- minus the
+TCP length prefix, which UDP's own datagram framing makes redundant.
+Frames fit comfortably in one datagram (well under any MTU), so there
+is no fragmentation protocol; a frame that is lost is simply
+superseded by the next sample.  Receivers dedupe by ``(site, seq)``
+against the other arrival paths, so a frame arriving by both TCP and
+UDP is counted once.
+
+Everything is best-effort by design: a sender with no reachable
+receiver drops silently (telemetry must never take the protocol down),
+and a receiver tolerates malformed datagrams by dropping them.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.net.wire import FRAME_TELEMETRY, WireError, decode_frame
+from repro.obs.telemetry import TelemetryFrame
+
+#: Largest datagram a receiver will accept.  Telemetry frame bodies are
+#: tens of bytes; anything near this bound is not ours.
+MAX_DATAGRAM_BYTES = 2048
+
+
+class BeaconSender:
+    """Fire-and-forget datagram sender for encoded telemetry bodies.
+
+    One UDP socket, non-blocking; :meth:`send` never raises on network
+    trouble (unreachable port, full buffer) -- the frame is simply lost,
+    like any datagram.  ``sent`` counts the datagrams actually handed to
+    the OS, for tests and gauges.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.address = (host, port)
+        self.sent = 0
+        self._sock: Optional[socket.socket] = socket.socket(
+            socket.AF_INET, socket.SOCK_DGRAM
+        )
+        self._sock.setblocking(False)
+
+    def send(self, body: bytes) -> bool:
+        """Ship one frame body; True iff the OS accepted the datagram."""
+        if self._sock is None:
+            return False
+        try:
+            self._sock.sendto(body, self.address)
+        except OSError:
+            return False
+        self.sent += 1
+        return True
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "BeaconSender":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class BeaconReceiver:
+    """Non-blocking fan-in socket for telemetry datagrams.
+
+    Binds ``host:port`` (port 0 picks a free one -- read :attr:`port`
+    back for handing to senders) and decodes each arrived datagram with
+    the shared wire codec.  :meth:`drain` empties the OS buffer and
+    returns the decoded frames in arrival order; datagrams that fail to
+    decode, or decode to a non-telemetry frame, bump :attr:`rejected`
+    and are dropped -- a stray packet on the port must not kill the
+    monitor.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock: Optional[socket.socket] = socket.socket(
+            socket.AF_INET, socket.SOCK_DGRAM
+        )
+        self._sock.bind((host, port))
+        self._sock.setblocking(False)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self.received = 0
+        self.rejected = 0
+
+    def drain(self) -> list[TelemetryFrame]:
+        """Decode every datagram currently queued on the socket."""
+        frames: list[TelemetryFrame] = []
+        while self._sock is not None:
+            try:
+                body, _addr = self._sock.recvfrom(MAX_DATAGRAM_BYTES)
+            except BlockingIOError:
+                break
+            except OSError:
+                break
+            if not body or body[0] != FRAME_TELEMETRY:
+                self.rejected += 1
+                continue
+            try:
+                value = decode_frame(body)
+            except (WireError, ValueError):
+                self.rejected += 1
+                continue
+            if not isinstance(value, TelemetryFrame):
+                self.rejected += 1
+                continue
+            self.received += 1
+            frames.append(value)
+        return frames
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "BeaconReceiver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "MAX_DATAGRAM_BYTES",
+    "BeaconReceiver",
+    "BeaconSender",
+]

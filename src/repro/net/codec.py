@@ -29,11 +29,23 @@ from repro.obs.profiler import profiled
 from repro.ot.operations import Delete, Identity, Insert, Operation, OperationGroup
 
 _U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
 
 TAG_INSERT = 0x01
 TAG_DELETE = 0x02
 TAG_IDENTITY = 0x03
 TAG_GROUP = 0x04
+
+#: Version tag of the *optional trailer* appended after the operation
+#: body of an encoded :class:`~repro.editor.messages.OpMessage`.  The
+#: original (version-1) encoding ends exactly at the operation and has
+#: no version field at all, so -- like the TelemetryFrame v2 extension
+#: -- new optional fields live in a versioned trailer: absent for plain
+#: messages (byte-identical to v1, keeping the paper's byte accounting
+#: exact), present when the message carries extension fields.  A
+#: decoder seeing trailing bytes reads the trailer version first and
+#: rejects versions it does not know.
+OP_TRAILER_VERSION = 2
 
 
 class CodecError(ValueError):
@@ -62,6 +74,10 @@ class Writer:
         data = value.encode("utf-8")
         self.u32(len(data))
         self._chunks.append(data)
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        self._chunks.append(_F64.pack(value))
         return self
 
     def raw(self, data: bytes) -> "Writer":
@@ -102,6 +118,9 @@ class Reader:
     def string(self) -> str:
         length = self.u32()
         return self._take(length).decode("utf-8")
+
+    def f64(self) -> float:
+        return float(_F64.unpack(self._take(8))[0])
 
     def raw(self, n: int) -> bytes:
         """Take ``n`` bytes verbatim (for embedded messages)."""
@@ -173,13 +192,23 @@ TIMESTAMP_WIRE_BYTES = 2 * INT_WIDTH
 
 @profiled("codec.encode")
 def encode_op_message(message: Any) -> bytes:
-    """Serialise a :class:`repro.editor.messages.OpMessage` to bytes."""
+    """Serialise a :class:`repro.editor.messages.OpMessage` to bytes.
+
+    A message without extension fields encodes byte-identically to the
+    original format; ``origin_wall`` (when set) travels in the
+    :data:`OP_TRAILER_VERSION` trailer: u8 trailer version, u8 presence
+    bitmap (bit 0 = origin_wall), then the present fields in bitmap
+    order.
+    """
     writer = Writer()
     encode_timestamp(message.timestamp, writer)
     writer.u32(message.origin_site)
     writer.string(message.op_id)
     writer.string(message.source_op_id or "")
     encode_operation(message.op, writer)
+    origin_wall = getattr(message, "origin_wall", None)
+    if origin_wall is not None:
+        writer.u8(OP_TRAILER_VERSION).u8(0x01).f64(origin_wall)
     return writer.getvalue()
 
 
@@ -193,6 +222,18 @@ def decode_op_message(data: bytes) -> Any:
     op_id = reader.string()
     source_op_id = reader.string() or None
     op = decode_operation(reader)
+    origin_wall = None
+    if not reader.done():
+        version = reader.u8()
+        if version != OP_TRAILER_VERSION:
+            raise CodecError(f"unknown op-message trailer version {version}")
+        present = reader.u8()
+        if present & ~0x01:
+            raise CodecError(
+                f"unknown op-message trailer fields 0x{present:02x}"
+            )
+        if present & 0x01:
+            origin_wall = reader.f64()
     reader.expect_done()
     return OpMessage(
         op=op,
@@ -200,4 +241,5 @@ def decode_op_message(data: bytes) -> Any:
         origin_site=origin_site,
         op_id=op_id,
         source_op_id=source_op_id,
+        origin_wall=origin_wall,
     )

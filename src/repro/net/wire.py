@@ -338,6 +338,13 @@ def encode_telemetry_frame(tframe: TelemetryFrame) -> bytes:
     writer.u32(tframe.resynced)
     writer.u32(tframe.degraded_queued)
     writer.string(tframe.digest)
+    # v3: optional gauges as u8 presence flag + payload, so a frame
+    # without the gauge costs one byte and the encoding stays byte-exact.
+    if tframe.e2e_p95_ms is None:
+        writer.u8(0)
+    else:
+        writer.u8(1)
+        writer.raw(_F64.pack(tframe.e2e_p95_ms))
     return writer.getvalue()
 
 
@@ -371,6 +378,9 @@ def _decode_telemetry(reader: Reader) -> TelemetryFrame:
         resynced=reader.u32(),
         degraded_queued=reader.u32(),
         digest=reader.string(),
+        e2e_p95_ms=(
+            float(_F64.unpack(reader.raw(8))[0]) if reader.u8() else None
+        ),
     )
     reader.expect_done()
     return tframe

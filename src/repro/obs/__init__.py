@@ -29,7 +29,13 @@ only lazily, inside functions.  The pieces:
   gauges sampled on any scheduler, health verdicts over the gauge
   stream, and the crash-time trace-tail dump;
 * :mod:`repro.obs.monitor` -- the cross-process aggregator behind
-  ``python -m repro monitor``;
+  ``python -m repro monitor``: incremental stream tailing
+  (:class:`TelemetryTailer`), the UDP sideband fan-in, and the
+  ``--follow`` sparkline dashboard;
+* :mod:`repro.obs.spans` -- the end-to-end latency observatory:
+  cross-process causal spans assembled into per-site-pair
+  skew-corrected latency percentiles (:func:`assemble_spans`,
+  :class:`SkewEstimator`, :class:`SpanReport`);
 * JSONL and Chrome ``trace_event`` serialisation, including the
   crash-safe :class:`JsonlWriter` the telemetry streams ride on.
 """
@@ -64,12 +70,21 @@ from repro.obs.profiler import (
 from repro.obs.monitor import (
     MONITOR_FORMAT,
     MONITOR_SCHEMA_VERSION,
+    FollowView,
     MonitorSnapshot,
+    TelemetryTailer,
     aggregate,
     merged_registry,
     run_monitor,
     scan_dir,
     site_registry,
+    sparkline,
+)
+from repro.obs.spans import (
+    PairLatency,
+    SkewEstimator,
+    SpanReport,
+    assemble_spans,
 )
 from repro.obs.telemetry import (
     TELEMETRY_FORMAT,
@@ -117,17 +132,22 @@ __all__ = [
     "CrossCheckReport",
     "DivergenceSentinel",
     "FlightRecorder",
+    "FollowView",
     "HealthEvent",
     "Histogram",
     "JsonlWriter",
     "MetricsRegistry",
     "MonitorSnapshot",
+    "PairLatency",
     "PhaseProfiler",
     "PhaseStats",
     "RetransmitStormWatchdog",
     "SilenceWatchdog",
+    "SkewEstimator",
+    "SpanReport",
     "TelemetryFrame",
     "TelemetrySampler",
+    "TelemetryTailer",
     "TraceAnalysisError",
     "TraceCausality",
     "TraceEvent",
@@ -136,6 +156,7 @@ __all__ = [
     "Watchdog",
     "activated",
     "aggregate",
+    "assemble_spans",
     "compare_artifacts",
     "cross_check_causality",
     "default_watchdogs",
@@ -152,6 +173,7 @@ __all__ = [
     "scan_dir",
     "site_registry",
     "snapshot_endpoint",
+    "sparkline",
     "trace_header",
     "uninstall",
     "verify_check_records",

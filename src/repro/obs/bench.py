@@ -399,6 +399,10 @@ def _run_wire_scenario(scenario: BenchScenario) -> dict[str, Any]:
                 "latency_p50_s": report.latency_p50_s,
                 "latency_p95_s": report.latency_p95_s,
                 "wall_s": report.wall_s,
+                # Skew-corrected wall-clock end-to-end latency from the
+                # span pipeline (repro.obs.spans); trend-only like the
+                # rest of the wire sub-document.
+                "e2e": report.spans.to_dict() if report.spans else None,
             },
             "phase_calls": {},
             "profile": {},

@@ -52,8 +52,9 @@ TELEMETRY_FORMAT = "repro-obs-telemetry-v1"
 #: Bumped whenever the frame schema changes shape.  The wire codec
 #: carries it in every frame, so readers can reject frames from a
 #: future schema instead of misparsing them.  v2 added the failover
-#: gauges (elected / promoted / resynced / degraded_queued).
-TELEMETRY_SCHEMA_VERSION = 2
+#: gauges (elected / promoted / resynced / degraded_queued); v3 added
+#: the optional end-to-end latency gauge (``e2e_p95_ms``).
+TELEMETRY_SCHEMA_VERSION = 3
 
 
 def document_digest(document: Any) -> str:
@@ -96,6 +97,12 @@ class TelemetryFrame:
     resynced: int = 0  # failover handoffs completed (snapshot installed)
     degraded_queued: int = 0  # local edits queued while leaderless
     digest: str = ""  # document_digest() of the replica
+    #: p95 over the endpoint's rolling window of *uncorrected*
+    #: end-to-end latencies (milliseconds; origin wall-clock stamp to
+    #: local execution).  ``None`` when span instrumentation is
+    #: disabled or nothing remote has executed yet -- the common case
+    #: for simulator sessions, hence last and optional.
+    e2e_p95_ms: Optional[float] = None
 
     def to_json(self) -> str:
         """One compact JSON object, fields in declaration order.
@@ -105,7 +112,10 @@ class TelemetryFrame:
         """
         data: dict[str, Any] = {"rec": "frame"}
         for spec in fields(self):
-            data[spec.name] = getattr(self, spec.name)
+            value = getattr(self, spec.name)
+            if value is None:
+                continue  # optional gauges absent: keep old shape
+            data[spec.name] = value
         return json.dumps(data)
 
     @classmethod
@@ -198,6 +208,12 @@ def snapshot_endpoint(
     site = int(getattr(endpoint, "pid", 0))
     if role is None:
         role = "notifier" if site == 0 else "client"
+    e2e_p95_ms: Optional[float] = None
+    window = getattr(endpoint, "e2e_window", None)
+    if window:
+        ordered = sorted(float(v) for v in window)
+        e2e_p95_ms = ordered[min(len(ordered) - 1,
+                                 int(len(ordered) * 0.95))] * 1e3
     return TelemetryFrame(
         site=site,
         role=role,
@@ -217,6 +233,7 @@ def snapshot_endpoint(
         resynced=int(getattr(stats, "handoffs", 0)),
         degraded_queued=int(getattr(stats, "degraded_queued", 0)),
         digest=document_digest(getattr(endpoint, "document", "")),
+        e2e_p95_ms=e2e_p95_ms,
     )
 
 

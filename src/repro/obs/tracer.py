@@ -41,8 +41,10 @@ TRACE_FORMAT = "repro-obs-trace-v1"
 #: Bumped whenever the JSONL schema changes shape.  Version 1 predates
 #: the field (readers treat a missing value as 1); version 2 fixed the
 #: event field order (canonical, not alphabetical) and added this
-#: header field.
-TRACE_SCHEMA_VERSION = 2
+#: header field; version 3 added the ``span`` event kind and the
+#: optional ``ot`` (origin wall-clock time) field -- readers of any
+#: version tolerate both being absent.
+TRACE_SCHEMA_VERSION = 3
 
 
 class TraceEventKind(enum.Enum):
@@ -62,6 +64,7 @@ class TraceEventKind(enum.Enum):
     PROMOTED = "promoted"  # the successor assumed the notifier role
     HANDOFF = "handoff"  # a client switched its centre to the successor
     HOLDBACK_OVERFLOW = "holdback_overflow"  # the reorder buffer hit capacity
+    SPAN = "span"  # a wall-clock latency stage marker (``via`` names it)
 
 
 @dataclass(frozen=True)
@@ -75,7 +78,12 @@ class TraceEvent:
     ``epoch``/``seq`` but no compressed timestamp, editor events the
     reverse.  ``via`` qualifies releases (``"direct"`` vs
     ``"holdback"``), snapshots and recoveries (``"join"`` /
-    ``"resync"`` / ``"failover"``).
+    ``"resync"`` / ``"failover"``), and names the stage of ``span``
+    events (``"generate"`` / ``"ingest"`` / ``"broadcast"`` /
+    ``"hold"`` / ``"release"`` / ``"execute"``).  ``origin_time`` is
+    the wall-clock instant the operation was generated, measured on the
+    *origin site's* clock and carried with the op across processes --
+    only ``span`` events set it.
     """
 
     index: int
@@ -89,14 +97,15 @@ class TraceEvent:
     timestamp: Optional[tuple[int, ...]] = None
     source_op_id: Optional[str] = None
     via: Optional[str] = None
+    origin_time: Optional[float] = None
 
     def to_json(self) -> str:
         """One compact JSON object; ``None`` fields are omitted.
 
         Fields are emitted in the canonical schema order (``i``,
         ``kind``, ``t``, ``site``, ``op``, ``peer``, ``epoch``, ``seq``,
-        ``ts``, ``src``, ``via``) -- not alphabetically -- so exports
-        are deterministic *and* diff cleanly between runs.
+        ``ts``, ``src``, ``via``, ``ot``) -- not alphabetically -- so
+        exports are deterministic *and* diff cleanly between runs.
         """
         data: dict[str, Any] = {
             "i": self.index,
@@ -118,6 +127,8 @@ class TraceEvent:
             data["src"] = self.source_op_id
         if self.via is not None:
             data["via"] = self.via
+        if self.origin_time is not None:
+            data["ot"] = self.origin_time
         return json.dumps(data)
 
     @classmethod
@@ -136,6 +147,7 @@ class TraceEvent:
             timestamp=tuple(timestamp) if timestamp is not None else None,
             source_op_id=data.get("src"),
             via=data.get("via"),
+            origin_time=data.get("ot"),
         )
 
 
@@ -196,6 +208,17 @@ class Histogram:
             rank = 1
         return ordered[rank - 1]
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram; returns self.
+
+        Merging concatenates the raw samples, so every statistic of the
+        merged histogram equals the statistic computed over the union of
+        observations -- percentiles included, which per-bucket or
+        per-summary merging cannot guarantee.  ``other`` is untouched.
+        """
+        self.values.extend(other.values)
+        return self
+
     def summary(self) -> str:
         if not self.values:
             return "n=0"
@@ -247,7 +270,7 @@ class MetricsRegistry:
         for name, value in other._counters.items():
             self.inc(name, value)
         for name, hist in other._histograms.items():
-            self.histogram(name).values.extend(hist.values)
+            self.histogram(name).merge(hist)
         return self
 
     def counters(self) -> dict[str, int]:
@@ -348,6 +371,7 @@ class Tracer:
         source_op_id: Optional[str] = None,
         via: Optional[str] = None,
         time: Optional[float] = None,
+        origin_time: Optional[float] = None,
     ) -> Optional[TraceEvent]:
         """Append one event (returns it), or ``None`` when disabled."""
         if not self.enabled:
@@ -364,6 +388,7 @@ class Tracer:
             timestamp=timestamp,
             source_op_id=source_op_id,
             via=via,
+            origin_time=origin_time,
         )
         self.events.append(event)
         self.emitted += 1

@@ -19,7 +19,8 @@ a constructor argument.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from collections import deque
+from typing import Any, Callable, Optional
 
 from repro.net.process import SimProcess
 from repro.net.reliability import (
@@ -44,6 +45,20 @@ class EditorEndpoint(SimProcess):
                  *, adopt_transport: Optional[AnyTransport] = None) -> None:
         super().__init__(sim, pid)
         self.tracer = tracer
+        #: Wall-clock source for causal latency spans.  ``None`` (the
+        #: default, and the only value simulator sessions ever see)
+        #: disables span instrumentation entirely: no ``origin_wall``
+        #: is stamped on outgoing messages and no ``span`` events are
+        #: emitted, so deterministic traces and the paper's byte
+        #: accounting are untouched.  Cluster processes arm it with
+        #: ``time.time`` after construction.
+        self.span_clock: Optional[Callable[[], float]] = None
+        #: Rolling window of recent *uncorrected* end-to-end latencies
+        #: (seconds; this site's clock minus the op's origin stamp),
+        #: fed on every execution of a span-stamped arrival and
+        #: published live through the telemetry sampler.  Empty unless
+        #: ``span_clock`` is armed.
+        self.e2e_window: deque[float] = deque(maxlen=64)
         if adopt_transport is not None:
             # Role transfer (notifier failover): the new endpoint takes
             # over an existing transport -- live links, sequence numbers,

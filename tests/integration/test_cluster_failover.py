@@ -86,6 +86,75 @@ def test_notifier_crash_mid_run_fails_over_with_telemetry(
                        emit=lambda _: None) == 0
 
 
+def test_udp_sideband_keeps_monitor_fed_through_failover(
+    tmp_path: Path,
+) -> None:
+    """ISSUE 10 acceptance: the monitor survives the gossip hub's death.
+
+    The monitor watches an *empty* directory -- its only input is the
+    UDP beacon sideband -- while a cluster crashes its notifier mid-run
+    and fails over.  Frames must keep arriving straight through the
+    failover window (the TCP gossip hub is dead for all of it), the
+    monitor must keep producing snapshot lines, and the artifact's
+    provenance counters must prove every frame arrived by datagram:
+    files contributed zero.
+    """
+    import json
+    import threading
+
+    from repro.net.beacon import BeaconReceiver
+    from repro.obs.monitor import run_monitor
+
+    monitor_dir = tmp_path / "monitor_only"
+    monitor_dir.mkdir()
+    cluster_dir = tmp_path / "cluster"
+    cluster_dir.mkdir()
+
+    lines: list[str] = []
+    exit_code: dict[str, int] = {}
+    receiver = BeaconReceiver()
+    try:
+        config = ClusterConfig(clients=3, ops_per_client=12, seed=11,
+                               time_scale=0.3, timeout_s=25.0,
+                               telemetry_interval_s=0.2,
+                               crash_notifier_after_s=1.5,
+                               beacon_port=receiver.port)
+
+        def watch() -> None:
+            # Idle detection ends the loop a few intervals after the
+            # cluster's last datagram; the duration is a backstop only.
+            exit_code["monitor"] = run_monitor(
+                monitor_dir, interval_s=0.2, duration_s=60.0,
+                beacon=receiver, expect_sites=config.clients + 1,
+                emit=lines.append,
+            )
+
+        monitor = threading.Thread(target=watch)
+        monitor.start()
+        report = run_cluster(config, cluster_dir)
+        monitor.join(timeout=30.0)
+        assert not monitor.is_alive()
+    finally:
+        receiver.close()
+
+    _assert_survived_by_failover(report, config, tmp_path / "cluster")
+    assert exit_code["monitor"] == 0
+    assert lines, "the monitor never rendered a snapshot"
+
+    artifact = (monitor_dir / "monitor.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in artifact[1:]]
+    intervals = [r for r in records if r["rec"] == "interval"]
+    # Fresh snapshots from *after* the failover window: the epoch-1
+    # frames can only have been minted by the promoted successor, after
+    # the original gossip hub was already dead.
+    assert any(r["epoch"] >= 1 for r in intervals), \
+        "no post-failover frames reached the monitor"
+    # Provenance: every frame the monitor saw came in by datagram.
+    metrics = [r for r in records if r["rec"] == "metrics"][0]
+    assert metrics["counters"]["monitor.frames_from_udp"] > 0
+    assert metrics["counters"]["monitor.frames_from_files"] == 0
+
+
 def test_crash_timer_after_quiescence_is_a_clean_run(tmp_path: Path) -> None:
     """Failover armed but never needed: the timer outlives the session.
 

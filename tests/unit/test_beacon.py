@@ -1,0 +1,90 @@
+"""Unit tests for the UDP telemetry sideband (repro.net.beacon)."""
+
+from repro.net.beacon import BeaconReceiver, BeaconSender
+from repro.net.wire import encode_telemetry_frame
+from repro.obs.telemetry import TelemetryFrame
+
+
+def make_frame(site=1, seq=0, **overrides):
+    fields = dict(
+        time=1.5, site=site, seq=seq, role="client", ops_generated=3,
+        ops_executed=7, holdback_depth=1, holdback_high_water=2,
+        inflight=0, retransmits=0, storage_ints=3, queue_depth=0,
+        epoch=0, elected=0, promoted=0, resynced=0, degraded_queued=0,
+        digest="abc123", e2e_p95_ms=4.25,
+    )
+    fields.update(overrides)
+    return TelemetryFrame(**fields)
+
+
+class TestBeaconRoundTrip:
+    def test_frames_arrive_decoded(self):
+        with BeaconReceiver() as receiver:
+            with BeaconSender(receiver.host, receiver.port) as sender:
+                frames = [make_frame(seq=i) for i in range(3)]
+                for tframe in frames:
+                    assert sender.send(encode_telemetry_frame(tframe))
+                assert sender.sent == 3
+            got = receiver.drain()
+        assert got == frames
+        assert receiver.received == 3
+        assert receiver.rejected == 0
+
+    def test_optional_gauge_absent_survives(self):
+        with BeaconReceiver() as receiver:
+            with BeaconSender(receiver.host, receiver.port) as sender:
+                sender.send(encode_telemetry_frame(
+                    make_frame(e2e_p95_ms=None)))
+            (got,) = receiver.drain()
+        assert got.e2e_p95_ms is None
+
+    def test_drain_on_empty_socket(self):
+        with BeaconReceiver() as receiver:
+            assert receiver.drain() == []
+
+    def test_garbage_datagrams_rejected_not_fatal(self):
+        with BeaconReceiver() as receiver:
+            with BeaconSender(receiver.host, receiver.port) as sender:
+                sender.send(b"")  # zero-length datagrams are dropped by
+                sender.send(b"not a telemetry frame")
+                sender.send(b"\x00\x01\x02")  # wrong tag byte
+                sender.send(encode_telemetry_frame(make_frame(seq=9)))
+            got = receiver.drain()
+        assert [f.seq for f in got] == [9]
+        # The empty datagram may not traverse loopback on every OS, so
+        # bound the reject count instead of pinning it.
+        assert receiver.rejected >= 2
+
+    def test_truncated_frame_rejected(self):
+        with BeaconReceiver() as receiver:
+            with BeaconSender(receiver.host, receiver.port) as sender:
+                body = encode_telemetry_frame(make_frame())
+                sender.send(body[: len(body) // 2])
+            assert receiver.drain() == []
+            assert receiver.rejected == 1
+
+
+class TestBeaconLifecycle:
+    def test_sender_never_raises_after_close(self):
+        sender = BeaconSender("127.0.0.1", 9)  # discard port
+        sender.close()
+        assert sender.send(b"late") is False
+        sender.close()  # idempotent
+
+    def test_sender_swallows_unreachable(self):
+        # No receiver bound: send() must not raise, only report False or
+        # fire-and-forget True (loopback accepts datagrams to dead
+        # ports; the ICMP error surfaces later, if ever).
+        with BeaconSender("127.0.0.1", 1) as sender:
+            sender.send(b"x" * 32)  # must not raise
+
+    def test_receiver_close_idempotent(self):
+        receiver = BeaconReceiver()
+        receiver.close()
+        receiver.close()
+        assert receiver.drain() == []
+
+    def test_receiver_picks_ephemeral_port(self):
+        with BeaconReceiver() as a, BeaconReceiver() as b:
+            assert a.port != 0
+            assert a.port != b.port

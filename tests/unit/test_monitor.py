@@ -21,7 +21,12 @@ from repro.obs import (
     scan_dir,
     site_registry,
 )
-from repro.obs.monitor import MONITOR_FORMAT, read_telemetry
+from repro.obs.monitor import (
+    MONITOR_FORMAT,
+    TelemetryTailer,
+    read_telemetry,
+    sparkline,
+)
 from repro.obs.telemetry import TELEMETRY_FORMAT, TELEMETRY_SCHEMA_VERSION
 
 
@@ -231,3 +236,164 @@ class TestRunMonitor:
         code = run_monitor(tmp_path, interval_s=0.1, emit=lambda _: None,
                            clock=lambda: clock["t"], sleep=sleep)
         assert code == 0  # returned on its own: idle detection worked
+
+    def test_max_intervals_bounds_the_loop(self, tmp_path):
+        write_stream(tmp_path / "telemetry_0.jsonl", [frame_at(0, 0)])
+        rounds = {"n": 0}
+
+        def sleep(_seconds: float) -> None:
+            rounds["n"] += 1
+            # Keep the streams "fresh" forever: without the bound the
+            # idle detector would never fire.
+            write_stream(tmp_path / "telemetry_0.jsonl",
+                         [frame_at(0, seq) for seq in range(rounds["n"] + 1)])
+
+        code = run_monitor(tmp_path, interval_s=0.01, max_intervals=3,
+                           emit=lambda _: None, sleep=sleep)
+        assert code == 0
+        assert rounds["n"] == 2  # 3 rounds = 2 sleeps between them
+
+
+class TestTelemetryTailer:
+    def test_each_record_parsed_exactly_once_across_polls(self, tmp_path):
+        stream = tmp_path / "telemetry_1.jsonl"
+        write_stream(stream, [frame_at(1, 0), frame_at(1, 1)],
+                     site=1, role="client")
+        tailer = TelemetryTailer(tmp_path)
+        by_site, _health = tailer.poll()
+        assert [f.seq for f in by_site[1]] == [0, 1]
+        assert tailer.records_parsed == 2  # header line is not a record
+
+        # Nothing new on disk: a second poll parses zero records.
+        assert tailer.poll() == ({}, [])
+        assert tailer.records_parsed == 2
+
+        # Append two more; only the appended bytes are parsed.
+        with stream.open("a") as fh:
+            fh.write(frame_at(1, 2).to_json() + "\n")
+            fh.write(frame_at(1, 3).to_json() + "\n")
+        by_site, _health = tailer.poll()
+        assert [f.seq for f in by_site[1]] == [2, 3]
+        assert tailer.records_parsed == 4
+        assert tailer.frames_from_files == 4
+
+    def test_partial_trailing_line_waits_for_completion(self, tmp_path):
+        stream = tmp_path / "telemetry_1.jsonl"
+        full = frame_at(1, 0).to_json()
+        torn = frame_at(1, 1).to_json()
+        stream.write_text(full + "\n" + torn[:10])
+        tailer = TelemetryTailer(tmp_path)
+        by_site, _ = tailer.poll()
+        assert [f.seq for f in by_site[1]] == [0]
+        # The writer finishes the line: the next poll picks it up whole.
+        with stream.open("a") as fh:
+            fh.write(torn[10:] + "\n")
+        by_site, _ = tailer.poll()
+        assert [f.seq for f in by_site[1]] == [1]
+        assert tailer.records_parsed == 2
+
+    def test_truncated_file_resets_cursor(self, tmp_path):
+        stream = tmp_path / "telemetry_1.jsonl"
+        write_stream(stream, [frame_at(1, 0), frame_at(1, 1)],
+                     site=1, role="client")
+        tailer = TelemetryTailer(tmp_path)
+        tailer.poll()
+        # A rewritten (shorter) file must not be read from the stale
+        # offset; the tailer starts over and dedup absorbs the replays.
+        write_stream(stream, [frame_at(1, 2)], site=1, role="client")
+        by_site, _ = tailer.poll()
+        assert [f.seq for f in by_site[1]] == [2]
+
+    def test_ingest_dedupes_against_file_frames(self, tmp_path):
+        write_stream(tmp_path / "telemetry_1.jsonl", [frame_at(1, 0)],
+                     site=1, role="client")
+        tailer = TelemetryTailer(tmp_path)
+        tailer.poll()
+        assert tailer.ingest(frame_at(1, 0)) is False  # seen on disk
+        assert tailer.ingest(frame_at(1, 1)) is True   # fresh via UDP
+        assert tailer.ingest(frame_at(1, 1)) is False  # duplicate datagram
+        assert tailer.frames_from_ingest == 1
+        # And the file path dedupes against ingest in return.
+        with (tmp_path / "telemetry_1.jsonl").open("a") as fh:
+            fh.write(frame_at(1, 1).to_json() + "\n")
+        by_site, _ = tailer.poll()
+        assert by_site == {}
+
+
+class TestFollow:
+    def test_sparkline_shape(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "▁▁"
+        line = sparkline([0.0, 5.0, 10.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(sparkline(list(range(100)), width=12)) == 12
+
+    def test_follow_piped_emits_plain_deterministic_lines(self, tmp_path):
+        write_stream(tmp_path / "telemetry_0.jsonl",
+                     [frame_at(0, 0, ops_executed=4)])
+        lines: list[str] = []
+        code = run_monitor(tmp_path, once=True, follow=True, tty=False,
+                           expect_sites=2, emit=lines.append)
+        assert code == 0
+        assert len(lines) == 1
+        assert "\x1b" not in lines[0]  # no ANSI when piped
+        assert "sites=1/2" in lines[0]
+
+    def test_follow_tty_renders_dashboard(self, tmp_path):
+        write_stream(
+            tmp_path / "telemetry_0.jsonl",
+            [frame_at(0, 0, ops_executed=4, e2e_p95_ms=2.5, promoted=1,
+                      degraded_queued=3)],
+        )
+        frames: list[str] = []
+        code = run_monitor(tmp_path, once=True, follow=True, tty=True,
+                           expect_sites=2, emit=frames.append)
+        assert code == 0
+        screen = frames[0]
+        assert screen.startswith("\x1b[H\x1b[J")  # home + clear redraw
+        assert "site 0" in screen
+        assert "e2e" in screen and "2.5ms" in screen
+        assert "PROMOTED" in screen
+        assert "DEGRADED(3)" in screen
+        assert any(block in screen for block in "▁▂▃▄▅▆▇█")
+
+    def test_udp_frames_reach_the_view_and_the_registry(self, tmp_path):
+        # No files at all: every frame arrives through the injected
+        # beacon receiver, and the artifact's counters prove the path.
+        from repro.net.beacon import BeaconReceiver, BeaconSender
+        from repro.net.wire import encode_telemetry_frame
+
+        with BeaconReceiver() as receiver:
+            with BeaconSender(receiver.host, receiver.port) as sender:
+                for seq in range(2):
+                    sender.send(encode_telemetry_frame(
+                        frame_at(1, seq, ops_executed=seq)))
+                # Duplicate of seq 1, as if gossip delivered it too.
+                sender.send(encode_telemetry_frame(
+                    frame_at(1, 1, ops_executed=1)))
+            lines: list[str] = []
+            code = run_monitor(tmp_path, once=True, beacon=receiver,
+                               emit=lines.append)
+        assert code == 0
+        assert len(lines) == 1 and "exec=1" in lines[0]
+        records = [json.loads(line) for line
+                   in (tmp_path / "monitor.jsonl").read_text().splitlines()[1:]]
+        metrics = [r for r in records if r["rec"] == "metrics"][0]
+        assert metrics["counters"]["monitor.frames_from_udp"] == 2
+        assert metrics["counters"]["monitor.frames_from_files"] == 0
+        assert metrics["counters"]["monitor.udp_datagrams"] == 3
+
+    def test_e2e_gauge_flows_into_snapshot_and_registry(self, tmp_path):
+        write_stream(
+            tmp_path / "telemetry_0.jsonl",
+            [frame_at(0, 0, e2e_p95_ms=1.5), frame_at(0, 1, e2e_p95_ms=4.0)],
+        )
+        write_stream(tmp_path / "telemetry_1.jsonl", [frame_at(1, 0)],
+                     site=1, role="client")
+        by_site, _ = scan_dir(tmp_path)
+        snapshot = aggregate(by_site)
+        assert snapshot.e2e_p95_ms == 4.0  # worst latest per-site gauge
+        assert "e2e=4.0ms" in snapshot.line()
+        merged = merged_registry(by_site)
+        hist = merged.histograms()["telemetry.e2e_p95_ms"]
+        assert sorted(hist.values) == [1.5, 4.0]  # None gauge not observed
